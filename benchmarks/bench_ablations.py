@@ -1,0 +1,88 @@
+"""Ablations of the design choices DESIGN.md §6 calls out.
+
+Each test prints the knob-vs-metric table and asserts the direction of the
+effect — the mechanism behind the corresponding paper claim.
+"""
+
+from repro.bench import (
+    ablation_bus_capacity,
+    ablation_eager_threshold,
+    ablation_parallel_pio,
+    ablation_poll_cost,
+    ablation_split_ratio,
+    ablation_window,
+)
+from repro.bench.reporting import report_table
+
+
+def test_ablation_poll_cost(benchmark):
+    """Fig 6 mechanism: the multirail gap tracks the idle-NIC poll cost."""
+    table = benchmark.pedantic(ablation_poll_cost, rounds=1, iterations=1)
+    report_table(table)
+    gaps = table.column("gap (us)")
+    costs = table.column("mx poll cost (us)")
+    # gap is (weakly) increasing in poll cost and ~equal to it
+    assert all(b >= a - 1e-9 for a, b in zip(gaps, gaps[1:]))
+    assert abs(gaps[-1] - costs[-1]) < 0.5
+
+
+def test_ablation_eager_threshold(benchmark):
+    """Figs 4-5 mechanism: the payoff boundary tracks the PIO threshold."""
+    table = benchmark.pedantic(ablation_eager_threshold, rounds=1, iterations=1)
+    report_table(table)
+    # at 64K total (32K segments): multi-rail pays off only while the
+    # threshold stays below the segment size (DMA regime)
+    col = table.column("greedy/best @64K")
+    assert col[0] > 1.2  # threshold 8K < segment 32K: rendezvous, gain
+    assert col[-1] < 1.2  # threshold 128K > segment 32K: PIO, gain collapses
+    assert col[-1] < col[0]
+    # far above every threshold the gain is threshold-independent
+    far = table.column("greedy/best @256K")
+    assert max(far) - min(far) < 0.05
+
+
+def test_ablation_bus_capacity(benchmark, samples):
+    """The aggregated-bandwidth ceiling follows the I/O bus capacity."""
+    table = benchmark.pedantic(
+        lambda: ablation_bus_capacity(samples=samples), rounds=1, iterations=1
+    )
+    report_table(table)
+    bw = table.column("hetero-split bw (MB/s)")
+    caps = table.column("bus (MB/s)")
+    assert all(b >= a - 1e-6 for a, b in zip(bw, bw[1:]))
+    # bus-bound at the low end, NIC-sum-bound at the high end
+    assert bw[0] <= caps[0] + 1e-6
+    assert bw[-1] <= sum((1210.0, 860.0))
+
+
+def test_ablation_window(benchmark):
+    """Optimization window: spacing submissions kills aggregation."""
+    table = benchmark.pedantic(ablation_window, rounds=1, iterations=1)
+    report_table(table)
+    agg_counts = table.column("aggregated pkts")
+    # back-to-back submissions aggregate; widely spaced ones do not
+    assert agg_counts[0] > 0
+    assert agg_counts[-1] == 0
+
+
+def test_ablation_split_ratio(benchmark, samples):
+    """The sampled stripping ratio sits at the bandwidth optimum."""
+    table = benchmark.pedantic(
+        lambda: ablation_split_ratio(samples=samples), rounds=1, iterations=1
+    )
+    report_table(table)
+    ratios = table.column("myri share")
+    bws = table.column("bandwidth (MB/s)")
+    best_ratio = ratios[max(range(len(bws)), key=lambda i: bws[i])]
+    # optimum within one grid step of the sampled 0.585
+    assert abs(best_ratio - 0.585) <= 0.12
+
+
+def test_ablation_parallel_pio(benchmark):
+    """§4 future work: each PIO thread shaves small-message latency."""
+    table = benchmark.pedantic(ablation_parallel_pio, rounds=1, iterations=1)
+    report_table(table)
+    col = table.column("greedy lat @8K (us)")
+    # one extra worker helps a 2-segment message; a second adds nothing
+    assert col[1] < 0.85 * col[0]
+    assert abs(col[2] - col[1]) < 0.2

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the simulation substrate itself (wall-clock).
+
+These are the only benchmarks where pytest-benchmark's timing is the
+point: they track the Python-level cost of the event kernel, the max-min
+fair reallocation, and a full ping-pong simulation, so regressions in the
+substrate (which every figure depends on) are visible.
+"""
+
+from repro import Session, paper_platform, run_pingpong
+from repro.sim import FlowNetwork, Link, Simulator
+from repro.util.units import MB
+
+
+def test_event_kernel_throughput(benchmark):
+    """Schedule + dispatch 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run_until_idle()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_flow_reallocation(benchmark):
+    """Start/complete 200 flows sharing a bus (quadratic reallocation)."""
+
+    def run():
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        bus = Link("bus", 1000.0)
+        rails = [Link(f"r{i}", 400.0) for i in range(8)]
+        for i in range(200):
+            net.start_flow([bus, rails[i % 8]], size=10_000.0 + i)
+        sim.run_until_idle()
+        return net.completed_count
+
+    assert benchmark(run) == 200
+
+
+def test_pingpong_simulation_cost(benchmark):
+    """Full 2-rail split ping-pong at 1 MB: build + simulate."""
+
+    def run():
+        session = Session(paper_platform(), strategy="greedy")
+        return run_pingpong(session, 1 * MB, segments=2, reps=2, warmup=1)
+
+    result = benchmark(run)
+    assert result.bandwidth_MBps > 1000
+
+
+def test_small_message_simulation_cost(benchmark):
+    """Latency-regime ping-pong: many sweeps, no flows."""
+
+    def run():
+        session = Session(paper_platform(), strategy="aggreg_multirail")
+        return run_pingpong(session, 64, segments=4, reps=10, warmup=2)
+
+    result = benchmark(run)
+    assert result.one_way_us < 10

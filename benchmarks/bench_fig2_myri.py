@@ -1,0 +1,24 @@
+"""Figure 2: raw NewMadeleine performance over Myri-10G.
+
+Regular vs 2-/4-segment messages, with and without opportunistic
+aggregation: (a) latency 4 B-32 KB, (b) bandwidth 32 KB-8 MB.
+"""
+
+from repro.bench import report_figure, run_figure, write_reports
+
+
+def test_fig2a_myri_latency(benchmark, report_dir):
+    result = benchmark.pedantic(lambda: run_figure("fig2a", reps=2), rounds=1, iterations=1)
+    report_figure(result)
+    write_reports([result], report_dir)
+    # single-segment small-message latency is the paper's 2.8us scalar
+    assert 2.5 <= result.sweep.point("regular", 4).one_way_us <= 3.1
+
+
+def test_fig2b_myri_bandwidth(benchmark, report_dir):
+    result = benchmark.pedantic(lambda: run_figure("fig2b", reps=2), rounds=1, iterations=1)
+    report_figure(result)
+    write_reports([result], report_dir)
+    # peak bandwidth ~1200 MB/s
+    peak = max(result.sweep.series("regular", "bandwidth"))
+    assert 1100 <= peak <= 1300

@@ -1,0 +1,24 @@
+"""Figure 3: raw NewMadeleine performance over Quadrics.
+
+Regular vs 2-/4-segment messages, with and without opportunistic
+aggregation: (a) latency 4 B-32 KB, (b) bandwidth 32 KB-8 MB.
+"""
+
+from repro.bench import report_figure, run_figure, write_reports
+
+
+def test_fig3a_quadrics_latency(benchmark, report_dir):
+    result = benchmark.pedantic(lambda: run_figure("fig3a", reps=2), rounds=1, iterations=1)
+    report_figure(result)
+    write_reports([result], report_dir)
+    # single-segment small-message latency is the paper's 1.7us scalar
+    assert 1.5 <= result.sweep.point("regular", 4).one_way_us <= 1.9
+
+
+def test_fig3b_quadrics_bandwidth(benchmark, report_dir):
+    result = benchmark.pedantic(lambda: run_figure("fig3b", reps=2), rounds=1, iterations=1)
+    report_figure(result)
+    write_reports([result], report_dir)
+    # peak bandwidth ~850 MB/s
+    peak = max(result.sweep.series("regular", "bandwidth"))
+    assert 780 <= peak <= 930

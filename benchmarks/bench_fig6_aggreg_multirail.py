@@ -1,0 +1,23 @@
+"""Figure 6: aggregated eager messages on the fastest NIC, balanced large
+messages on available NICs — latency.
+
+The dynamic curve follows the Quadrics NIC-only curve with a constant gap:
+the mandatory progress poll of the (idle) Myri-10G NIC, "the penalty ...
+mandatory if one wants to effectively use the multi-rail feature".
+"""
+
+from repro.bench import report_figure, run_figure, write_reports
+from repro.hardware.presets import MYRI_10G
+
+
+def test_fig6_latency(benchmark, report_dir):
+    result = benchmark.pedantic(lambda: run_figure("fig6", reps=2), rounds=1, iterations=1)
+    report_figure(result)
+    write_reports([result], report_dir)
+    dyn = result.sweep.point("2-seg dynamically balanced", 4).one_way_us
+    q_only = result.sweep.point("2-seg aggregated over Quadrics (NIC-only)", 4).one_way_us
+    m_only = result.sweep.point("2-seg aggregated over Myri-10G (NIC-only)", 4).one_way_us
+    gap = dyn - q_only
+    # the gap is one Myri-10G poll, and the dynamic curve stays below Myri-only
+    assert 0.5 * MYRI_10G.poll_cost_us <= gap <= 2.0 * MYRI_10G.poll_cost_us
+    assert dyn < m_only

@@ -1,0 +1,59 @@
+"""Streaming (flood) benchmarks: the optimization window at work.
+
+Not a paper figure — the paper's benchmark is a ping-pong — but the flood
+exposes the engine behaviour §2 describes ("the communication support
+accumulates packets while the NIC is busy"): throughput scales with the
+number of outstanding sends until the rails saturate.
+"""
+
+from repro import Session, paper_platform, single_rail_platform
+from repro.bench.flood import run_flood
+from repro.bench.reporting import report_table
+from repro.hardware.presets import MYRI_10G
+from repro.util.tables import Table
+from repro.util.units import KB, format_size
+
+
+def flood_window_table(size: int = 256 * KB, count: int = 32) -> Table:
+    table = Table(
+        ["window", "greedy 2-rail (MB/s)", "single mx (MB/s)"],
+        title=f"Flood throughput vs send window ({count} x {format_size(size)})",
+    )
+    for window in (1, 2, 4, 8, 16):
+        multi = run_flood(
+            Session(paper_platform(), strategy="greedy"), size, count=count, window=window
+        )
+        single = run_flood(
+            Session(single_rail_platform(MYRI_10G), strategy="single_rail"),
+            size,
+            count=count,
+            window=window,
+        )
+        table.add_row(window, multi.throughput_MBps, single.throughput_MBps)
+    return table
+
+
+def test_flood_window_scaling(benchmark):
+    table = benchmark.pedantic(flood_window_table, rounds=1, iterations=1)
+    report_table(table)
+    multi = table.column("greedy 2-rail (MB/s)")
+    # deeper windows help until the rails saturate, then plateau
+    assert multi[1] > multi[0]
+    assert multi[-1] >= multi[1]
+    # with a deep window the two-rail flood beats the single rail clearly
+    single = table.column("single mx (MB/s)")
+    assert multi[-1] > 1.3 * single[-1]
+
+
+def test_flood_small_messages_aggregate(benchmark):
+    def run():
+        session = Session(single_rail_platform(MYRI_10G), strategy="aggreg")
+        result = run_flood(session, 256, count=64, window=32)
+        return result, session.counters()["aggregated_segments"]
+
+    result, aggregated = benchmark(run)
+    print(
+        f"flood 64 x 256B window=32: {result.message_rate_per_ms:.1f} msgs/ms,"
+        f" {aggregated} segments aggregated"
+    )
+    assert aggregated > 0

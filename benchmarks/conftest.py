@@ -1,0 +1,29 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one figure of the paper (DESIGN.md §4
+maps figures to files).  Tables are printed (visible with ``pytest -s``)
+and persisted under ``bench_results/`` as text + CSV.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import paper_platform, sample_rails
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> str:
+    path = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def samples():
+    """One init-time sampling shared by every benchmark (like NewMadeleine
+    samples once at start-up)."""
+    return sample_rails(paper_platform())

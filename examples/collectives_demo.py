@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Collectives over a multi-rail cluster — a taste of the MPI layer.
+
+Runs a 6-node session with the final strategy and exercises every
+collective (barrier, bcast, scatter, gather, alltoall, reduce, allreduce,
+scan), then shows that messages from *different communicators* were
+aggregated into shared packets — the paper's "data segments can be
+aggregated into the same physical packet even if they belong to different
+logical channels (e.g. different MPI communicators)".
+
+Run:  python examples/collectives_demo.py
+"""
+
+from repro import Session, paper_platform
+from repro.mpi import (
+    Communicator,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    scan,
+    scatter,
+)
+
+N = 6
+
+
+def main() -> None:
+    session = Session(paper_platform(n_nodes=N), strategy="split_balance")
+    world = Communicator(session, name="world")
+    shadow = world.dup("shadow")  # a second logical channel space
+    lines: dict[int, list[str]] = {r: [] for r in range(N)}
+
+    def worker(rank: int):
+        ep = world.endpoint(rank)
+        sh = shadow.endpoint(rank)
+
+        yield from barrier(ep)
+        greeting = yield from bcast(ep, b"hello rails" if rank == 0 else None, root=0)
+        part = yield from scatter(
+            ep, [bytes([r]) * 8 for r in range(N)] if rank == 2 else None, root=2
+        )
+        # back-to-back sends on TWO communicators to the same neighbour:
+        # they sit in the engine's backlog together and ride one packet
+        # ("aggregated ... even if they belong to different logical
+        # channels, e.g. different MPI communicators")
+        right, left = (rank + 1) % N, (rank - 1) % N
+        s1 = ep.isend(bytes([rank]) * 16, right, tag=5)
+        s2 = sh.isend(bytes([rank]), right, tag=5)
+        world_recv = ep.irecv(left, tag=5)
+        shadow_recv = sh.irecv(left, tag=5)
+        yield s1.completion
+        yield s2.completion
+
+        total = yield from allreduce(ep, float(rank + 1))
+        prefix = yield from scan(ep, float(rank + 1))
+        exchanged = yield from alltoall(ep, [bytes([rank, p]) for p in range(N)])
+        gathered = yield from gather(ep, bytes([rank]), root=0)
+
+        yield world_recv.completion
+        yield shadow_recv.completion
+        lines[rank].append(f"bcast: {greeting.data!r}")
+        lines[rank].append(f"scatter piece: {part.data!r}")
+        lines[rank].append(f"allreduce(sum of 1..{N}): {total:.0f}")
+        lines[rank].append(f"scan prefix: {prefix:.0f}")
+        lines[rank].append(f"alltoall peers: {sorted(exchanged)}")
+        lines[rank].append(f"shadow-comm token: {shadow_recv.data!r}")
+        if gathered is not None:
+            lines[rank].append(f"gather at root: {sorted(gathered)}")
+        return None
+
+    procs = [session.spawn(worker(r), name=f"rank{r}") for r in range(N)]
+    session.run_until_idle()
+    assert all(p.done for p in procs), "collective demo deadlocked"
+
+    for line in lines[0]:
+        print("rank0:", line)
+    print(f"\nsimulated time for the whole program: {session.sim.now:.1f} us")
+    agg = session.counters()["aggregated_segments"]
+    print(f"segments that shared a physical packet with others: {agg}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Look inside the engine: trace one multi-rail transfer decision by
+decision.
+
+Enables session tracing, pushes a mixed workload through the final
+strategy, and prints the commit timeline — which rail each packet left
+on, what was aggregated, when the rendezvous control flew — followed by
+the per-rail byte accounting.  This is the observability story a user of
+the real NewMadeleine gets from its tracing hooks.
+
+Run:  python examples/engine_trace.py
+"""
+
+from repro import Session, paper_platform, sample_rails
+from repro.trace import commit_timeline, gantt, rail_byte_shares, rail_usage_table
+from repro.util.units import KB, MB, format_size
+
+
+def main() -> None:
+    plat = paper_platform()
+    samples = sample_rails(plat)
+    session = Session(plat, strategy="split_balance", samples=samples, trace=True)
+    a, b = session.interface(0), session.interface(1)
+
+    sizes = [100, 40, 2 * KB, 3 * MB, 60, 24 * KB]
+    print("submitting:", ", ".join(format_size(s) for s in sizes))
+    recvs = [b.irecv(0, 1) for _ in sizes]
+    for s in sizes:
+        a.isend(1, 1, s)
+    session.run_until_idle()
+    assert all(r.done for r in recvs)
+
+    print("\ncommit timeline (node 0 = sender):")
+    for time_us, node, detail in commit_timeline(session):
+        if node == 0:
+            print(f"  t={time_us:8.2f}us  {detail}")
+
+    print("\nNIC activity gantt (node 0; # = PIO on the CPU, = = DMA):")
+    print(gantt(session, 0))
+
+    print()
+    print(rail_usage_table(session))
+    shares = rail_byte_shares(session, node_id=0)
+    print("\nnode0 byte shares:", {k: f"{v:.1%}" for k, v in shares.items()})
+    c = session.counters(0)
+    print(
+        f"counters: sweeps={c['sweeps']} polls={c['polls']}"
+        f" aggregated_segments={c['aggregated_segments']}"
+        f" packets={c['packets_committed']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation (Figs 2-7).
+
+Prints each figure as a table (sizes × curves, latency in µs or bandwidth
+in MB/s) and writes text + CSV files under ``./figures_out/``.
+
+Run:  python examples/reproduce_figures.py           # all figures
+      python examples/reproduce_figures.py fig4b fig7  # a subset
+"""
+
+import sys
+
+from repro.bench import FIGURES, report_figure, run_figure, write_reports
+
+
+def main(argv: list[str]) -> None:
+    wanted = argv or sorted(FIGURES)
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figures {unknown}; available: {sorted(FIGURES)}")
+    results = []
+    for figure_id in wanted:
+        result = run_figure(figure_id)
+        report_figure(result)
+        results.append(result)
+    paths = write_reports(results, "figures_out")
+    print(f"wrote {len(paths)} files under ./figures_out/")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,69 @@
+"""repro — a reproduction of *High-Performance Multi-Rail Support with the
+NewMadeleine Communication Library* (Aumage, Brunet, Mercier, Namyst;
+HCW/IPDPS 2007) as a discrete-event simulation study.
+
+The package rebuilds the full stack the paper depends on:
+
+* :mod:`repro.sim` — deterministic event kernel with max-min fair
+  flow-level bandwidth sharing;
+* :mod:`repro.hardware` — hosts, NICs, I/O buses, rails (calibrated
+  Myri-10G and Quadrics presets);
+* :mod:`repro.drivers` — the transmit layer (MX, Elan, SiSCI, TCP);
+* :mod:`repro.core` — the NewMadeleine engine: NIC-driven core scheduler,
+  pluggable strategies (aggregation, greedy balancing, adaptive packet
+  stripping), rendezvous, matching, init-time sampling;
+* :mod:`repro.api` / :mod:`repro.mpi` — the collect-layer API and a small
+  message-passing layer on top;
+* :mod:`repro.bench` — the ping-pong harness and one runner per paper
+  figure (Figs 2-7).
+
+Quickstart::
+
+    from repro import Session, paper_platform, run_pingpong
+
+    session = Session(paper_platform(), strategy="aggreg_multirail")
+    print(run_pingpong(session, size=8, segments=2).one_way_us)
+"""
+
+from .bench.pingpong import PingPongResult, run_pingpong
+from .core.sampling import SampleTable, sample_rails
+from .core.matching import ANY_SOURCE
+from .core.session import Session
+from .core.strategies import available_strategies, make_strategy, register_strategy
+from .hardware.presets import (
+    GIGE_TCP,
+    IB_DDR,
+    MYRI_10G,
+    QUADRICS_QM500,
+    SCI_D33X,
+    paper_platform,
+    single_rail_platform,
+)
+from .hardware.spec import HostSpec, PlatformSpec, RailSpec
+from .util.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "ANY_SOURCE",
+    "PlatformSpec",
+    "RailSpec",
+    "HostSpec",
+    "paper_platform",
+    "single_rail_platform",
+    "MYRI_10G",
+    "QUADRICS_QM500",
+    "SCI_D33X",
+    "GIGE_TCP",
+    "IB_DDR",
+    "run_pingpong",
+    "PingPongResult",
+    "sample_rails",
+    "SampleTable",
+    "available_strategies",
+    "make_strategy",
+    "register_strategy",
+    "ReproError",
+    "__version__",
+]

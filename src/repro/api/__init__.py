@@ -1,0 +1,7 @@
+"""Collect layer: the public message-passing API."""
+
+from ..core.matching import ANY_SOURCE
+from .pack import Packer, Unpacker
+from .sendrecv import Interface
+
+__all__ = ["Interface", "Packer", "Unpacker", "ANY_SOURCE"]

@@ -1,0 +1,76 @@
+"""Collect-layer message-passing interface (the paper's benchmark API).
+
+An :class:`Interface` is the per-node handle applications talk to.  All
+operations are non-blocking and return request objects; application
+processes block by yielding ``request.completion``::
+
+    req = iface.isend(1, tag=7, data=b"hello")
+    rep = iface.irecv(1, tag=7)
+    yield AllOf([req.completion, rep.completion])
+
+Multi-segment messages (the paper's "incremental message construction")
+are built with :mod:`repro.api.pack` or the ``send_msg``/``recv_msg``
+helpers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence, Union
+
+from ..core.packet import Payload
+from ..core.request import MultiRequest, RecvRequest, SendRequest
+from ..util.errors import ApiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.scheduler import NodeEngine
+
+__all__ = ["Interface"]
+
+Sendable = Union[bytes, bytearray, int, Payload]
+
+
+class Interface:
+    """Non-blocking send/receive API bound to one node's engine."""
+
+    def __init__(self, engine: "NodeEngine"):
+        self.engine = engine
+
+    @property
+    def node_id(self) -> int:
+        return self.engine.node_id
+
+    @property
+    def sim(self):
+        return self.engine.sim
+
+    # ------------------------------------------------------------------ #
+    def isend(self, dst_node: int, tag: int, data: Sendable) -> SendRequest:
+        """Submit one segment to ``dst_node`` on logical channel ``tag``.
+
+        ``data`` may be real bytes or an int size (virtual payload).
+        """
+        if tag < 0:
+            raise ApiError(f"negative tag {tag}")
+        return self.engine.submit(dst_node, tag, Payload.of(data))
+
+    def irecv(self, src_node: int, tag: int) -> RecvRequest:
+        """Post a receive for the next segment from ``src_node``/``tag``."""
+        if tag < 0:
+            raise ApiError(f"negative tag {tag}")
+        return self.engine.post_recv(src_node, tag)
+
+    # ------------------------------------------------------------------ #
+    def send_msg(self, dst_node: int, tag: int, segments: Sequence[Sendable]) -> MultiRequest:
+        """Submit a multi-segment message (one request per segment)."""
+        if not segments:
+            raise ApiError("empty message")
+        return MultiRequest([self.isend(dst_node, tag, s) for s in segments])
+
+    def recv_msg(self, src_node: int, tag: int, n_segments: int) -> MultiRequest:
+        """Post receives for an ``n_segments`` message."""
+        if n_segments < 1:
+            raise ApiError(f"need >= 1 segment, got {n_segments}")
+        return MultiRequest([self.irecv(src_node, tag) for _ in range(n_segments)])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Interface node={self.node_id}>"

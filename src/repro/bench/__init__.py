@@ -1,0 +1,44 @@
+"""Benchmark harness: ping-pong, sweeps, and one runner per paper figure."""
+
+from .ablations import (
+    ablation_bus_capacity,
+    ablation_eager_threshold,
+    ablation_parallel_pio,
+    ablation_poll_cost,
+    ablation_split_ratio,
+    ablation_window,
+)
+from .extensions import ext_heterogeneous_mix, ext_parallel_pio_latency, ext_rail_scaling
+from .figures import FIGURES, FigureResult, run_figure
+from .flood import FloodResult, run_flood
+from .pingpong import BENCH_TAG, PingPongResult, run_pingpong, split_even
+from .reporting import report_figure, report_table, write_reports
+from .sweep import Curve, SweepResult, run_sweep, sweep_table
+
+__all__ = [
+    "run_pingpong",
+    "run_flood",
+    "FloodResult",
+    "PingPongResult",
+    "split_even",
+    "BENCH_TAG",
+    "Curve",
+    "SweepResult",
+    "run_sweep",
+    "sweep_table",
+    "FigureResult",
+    "FIGURES",
+    "run_figure",
+    "report_figure",
+    "report_table",
+    "write_reports",
+    "ablation_poll_cost",
+    "ablation_eager_threshold",
+    "ablation_bus_capacity",
+    "ablation_window",
+    "ablation_split_ratio",
+    "ablation_parallel_pio",
+    "ext_rail_scaling",
+    "ext_heterogeneous_mix",
+    "ext_parallel_pio_latency",
+]

@@ -1,0 +1,373 @@
+"""One runner per figure of the paper's evaluation (Figs 2-7).
+
+Every runner returns a :class:`FigureResult` whose table prints the same
+rows/series the paper plots.  Session construction policy (see DESIGN.md):
+
+* Figures 2-3 (raw single-network performance) run on a *single-rail*
+  platform — the library is loaded with one driver only;
+* Figures 4-5 reference curves ("we force all the segments to be sent
+  sequentially over a single network") run on the **two-rail** platform
+  with a pinned strategy — the other NIC is present and polled;
+* Figure 6 reference curves are the **NIC-only** configurations — the
+  paper's discussion of the gap ("a polling operation on the Myri-10G
+  NIC ... mandatory if one wants to effectively use the multi-rail
+  feature") only makes sense against a session where the second NIC is
+  not even loaded;
+* Figure 7 compares NIC-only single-segment transfers against iso- and
+  hetero-stripped transfers on the two-rail platform, with stripping
+  ratios taken from init-time sampling.
+
+Absolute values are simulation-calibrated, not testbed measurements; the
+assertions that accompany each figure live in
+``tests/integration/test_paper_shapes.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal, Optional, Sequence
+
+from ..core.sampling import SampleTable, sample_rails
+from ..core.session import Session
+from ..hardware.presets import paper_platform, single_rail_platform
+from ..hardware.spec import PlatformSpec, RailSpec
+from ..util.errors import BenchError
+from ..util.tables import Table
+from ..util.units import KB, PAPER_BANDWIDTH_SIZES, PAPER_LATENCY_SIZES, geometric_sizes
+from .sweep import Curve, SweepResult, run_sweep, sweep_table
+
+__all__ = [
+    "FigureResult",
+    "fig2a",
+    "fig2b",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "run_figure",
+    "FIGURES",
+]
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: its sweep data and printable table."""
+
+    figure_id: str
+    title: str
+    metric: Literal["latency", "bandwidth"]
+    sweep: SweepResult
+    table: Table
+
+    def render(self) -> str:
+        return self.table.render()
+
+    def plot(self, width: int = 64, height: int = 16) -> str:
+        """Render the figure as a log-log ASCII plot (paper style)."""
+        from ..util.asciiplot import AsciiPlot
+
+        unit = "one-way latency (us)" if self.metric == "latency" else "bandwidth (MB/s)"
+        plot = AsciiPlot(
+            width=width,
+            height=height,
+            x_log=True,
+            y_log=True,
+            title=f"{self.figure_id}: {self.title}",
+            y_label=unit,
+        )
+        for label in self.sweep.curves:
+            points = self.sweep.results[label]
+            sizes = [s for s in self.sweep.sizes if s in points]
+            values = [
+                points[s].one_way_us if self.metric == "latency" else points[s].bandwidth_MBps
+                for s in sizes
+            ]
+            plot.add_series(label, sizes, values)
+        return plot.render()
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()
+
+
+# --------------------------------------------------------------------- #
+# shared curve builders
+# --------------------------------------------------------------------- #
+def _single_platform_curves(rail: RailSpec) -> list[Curve]:
+    """Regular / 2-seg / 4-seg, with and without aggregation (Figs 2-3)."""
+    plat = single_rail_platform(rail)
+
+    def mk(strategy: str) -> Callable[[], Session]:
+        return lambda: Session(plat, strategy=strategy)
+
+    return [
+        Curve("regular", mk("single_rail"), segments=1),
+        Curve("2-seg", mk("single_rail"), segments=2),
+        Curve("2-seg aggregated", mk("aggreg"), segments=2),
+        Curve("4-seg", mk("single_rail"), segments=4),
+        Curve("4-seg aggregated", mk("aggreg"), segments=4),
+    ]
+
+
+def _greedy_curves(segments: int, spec: Optional[PlatformSpec] = None) -> list[Curve]:
+    """Forced-single-rail aggregated references + greedy (Figs 4-5)."""
+    plat = spec or paper_platform()
+    mx_name, elan_name = plat.rails[0].name, plat.rails[1].name
+    return [
+        Curve(
+            f"{segments}-seg aggregated over Myri-10G",
+            lambda: Session(plat, strategy="aggreg", strategy_opts={"rail": mx_name}),
+            segments=segments,
+        ),
+        Curve(
+            f"{segments}-seg aggregated over Quadrics",
+            lambda: Session(plat, strategy="aggreg", strategy_opts={"rail": elan_name}),
+            segments=segments,
+        ),
+        Curve(
+            f"{segments}-seg dynamically balanced",
+            lambda: Session(plat, strategy="greedy"),
+            segments=segments,
+        ),
+    ]
+
+
+def _figure(
+    figure_id: str,
+    title: str,
+    metric: Literal["latency", "bandwidth"],
+    curves: Sequence[Curve],
+    sizes: Sequence[int],
+    reps: int,
+) -> FigureResult:
+    sweep = run_sweep(curves, sizes, reps=reps)
+    table = sweep_table(sweep, metric, title=f"{figure_id}: {title}")
+    return FigureResult(figure_id, title, metric, sweep, table)
+
+
+# --------------------------------------------------------------------- #
+# Figures 2-3: raw single-network performance, multi-segment messages
+# --------------------------------------------------------------------- #
+def fig2a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 2(a): NewMadeleine over Myri-10G — latency."""
+    from ..hardware.presets import MYRI_10G
+
+    return _figure(
+        "fig2a",
+        "Myri-10G latency, regular vs multi-segment (+aggregation)",
+        "latency",
+        _single_platform_curves(MYRI_10G),
+        sizes or PAPER_LATENCY_SIZES,
+        reps,
+    )
+
+
+def fig2b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 2(b): NewMadeleine over Myri-10G — bandwidth."""
+    from ..hardware.presets import MYRI_10G
+
+    return _figure(
+        "fig2b",
+        "Myri-10G bandwidth, regular vs multi-segment (+aggregation)",
+        "bandwidth",
+        _single_platform_curves(MYRI_10G),
+        sizes or PAPER_BANDWIDTH_SIZES,
+        reps,
+    )
+
+
+def fig3a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 3(a): NewMadeleine over Quadrics — latency."""
+    from ..hardware.presets import QUADRICS_QM500
+
+    return _figure(
+        "fig3a",
+        "Quadrics latency, regular vs multi-segment (+aggregation)",
+        "latency",
+        _single_platform_curves(QUADRICS_QM500),
+        sizes or PAPER_LATENCY_SIZES,
+        reps,
+    )
+
+
+def fig3b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 3(b): NewMadeleine over Quadrics — bandwidth."""
+    from ..hardware.presets import QUADRICS_QM500
+
+    return _figure(
+        "fig3b",
+        "Quadrics bandwidth, regular vs multi-segment (+aggregation)",
+        "bandwidth",
+        _single_platform_curves(QUADRICS_QM500),
+        sizes or PAPER_BANDWIDTH_SIZES,
+        reps,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figures 4-5: greedy balancing
+# --------------------------------------------------------------------- #
+def fig4a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 4(a): greedy balancing, 2-segment messages — latency."""
+    return _figure(
+        "fig4a",
+        "Greedy balancing with 2-segment messages — latency",
+        "latency",
+        _greedy_curves(2),
+        sizes or geometric_sizes(4, 16 * KB),
+        reps,
+    )
+
+
+def fig4b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 4(b): greedy balancing, 2-segment messages — bandwidth."""
+    return _figure(
+        "fig4b",
+        "Greedy balancing with 2-segment messages — bandwidth",
+        "bandwidth",
+        _greedy_curves(2),
+        sizes or PAPER_BANDWIDTH_SIZES,
+        reps,
+    )
+
+
+def fig5a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 5(a): greedy balancing, 4-segment messages — latency."""
+    return _figure(
+        "fig5a",
+        "Greedy balancing with 4-segment messages — latency",
+        "latency",
+        _greedy_curves(4),
+        sizes or geometric_sizes(16, 16 * KB),
+        reps,
+    )
+
+
+def fig5b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 5(b): greedy balancing, 4-segment messages — bandwidth."""
+    return _figure(
+        "fig5b",
+        "Greedy balancing with 4-segment messages — bandwidth",
+        "bandwidth",
+        _greedy_curves(4),
+        sizes or PAPER_BANDWIDTH_SIZES,
+        reps,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 6: aggregation on the fastest NIC + balanced large messages
+# --------------------------------------------------------------------- #
+def fig6(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
+    """Fig 6: aggregated eager messages on the fastest NIC — latency.
+
+    References are NIC-only sessions; the "dynamically balanced" curve is
+    ``aggreg_multirail`` on the two-rail platform and sits a constant
+    idle-NIC poll above the Quadrics-only curve.
+    """
+    plat = paper_platform()
+    mx, elan = plat.rails[0], plat.rails[1]
+    curves = [
+        Curve(
+            "2-seg aggregated over Myri-10G (NIC-only)",
+            lambda: Session(single_rail_platform(mx), strategy="aggreg"),
+            segments=2,
+        ),
+        Curve(
+            "2-seg aggregated over Quadrics (NIC-only)",
+            lambda: Session(single_rail_platform(elan), strategy="aggreg"),
+            segments=2,
+        ),
+        Curve(
+            "2-seg dynamically balanced",
+            lambda: Session(plat, strategy="aggreg_multirail"),
+            segments=2,
+        ),
+    ]
+    return _figure(
+        "fig6",
+        "Aggregated eager on fastest NIC, balanced large — latency",
+        "latency",
+        curves,
+        sizes or PAPER_LATENCY_SIZES,
+        reps,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 7: packet stripping with adaptive threshold
+# --------------------------------------------------------------------- #
+def fig7(
+    sizes: Optional[Sequence[int]] = None,
+    reps: int = 3,
+    samples: Optional[SampleTable] = None,
+) -> FigureResult:
+    """Fig 7: packet stripping with adaptive threshold — bandwidth.
+
+    The hetero-split ratios come from init-time sampling (run once here
+    and shared across the sweep, like NewMadeleine samples once at
+    initialization); the iso-split curve forces a 50/50 ratio.
+    """
+    plat = paper_platform()
+    mx, elan = plat.rails[0], plat.rails[1]
+    table = samples if samples is not None else sample_rails(plat)
+    curves = [
+        Curve(
+            "1 segment over Myri-10G",
+            lambda: Session(single_rail_platform(mx), strategy="single_rail"),
+        ),
+        Curve(
+            "1 segment over Quadrics",
+            lambda: Session(single_rail_platform(elan), strategy="single_rail"),
+        ),
+        Curve(
+            "iso-split over both",
+            lambda: Session(
+                plat,
+                strategy="split_balance",
+                strategy_opts={"ratio_mode": "iso"},
+                samples=table,
+            ),
+        ),
+        Curve(
+            "hetero-split over both",
+            lambda: Session(plat, strategy="split_balance", samples=table),
+        ),
+    ]
+    return _figure(
+        "fig7",
+        "Packet stripping with adaptive threshold — bandwidth",
+        "bandwidth",
+        curves,
+        sizes or PAPER_BANDWIDTH_SIZES,
+        reps,
+    )
+
+
+#: registry used by ``run_figure`` and the benchmark files.
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig2a": fig2a,
+    "fig2b": fig2b,
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig6": fig6,
+    "fig7": fig7,
+}
+
+
+def run_figure(figure_id: str, **kwargs) -> FigureResult:
+    """Run one paper figure by id (``"fig2a"`` ... ``"fig7"``)."""
+    try:
+        runner = FIGURES[figure_id]
+    except KeyError:
+        raise BenchError(
+            f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,115 @@
+"""Generic size-sweep machinery for curve-style benchmarks.
+
+A *curve* is (label, session factory, segment count); a *sweep* runs every
+curve at every total size with a fresh session per point (strategy state
+never leaks between points) and collects latency/bandwidth series — the
+exact structure of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Literal, Sequence
+
+from ..util.errors import BenchError
+from ..util.tables import Table
+from ..util.units import format_size
+from .pingpong import PingPongResult, run_pingpong
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.session import Session
+
+__all__ = ["Curve", "SweepResult", "run_sweep", "sweep_table"]
+
+
+@dataclass(frozen=True)
+class Curve:
+    """One line of a figure."""
+
+    label: str
+    session_factory: Callable[[], "Session"]
+    segments: int = 1
+
+
+@dataclass
+class SweepResult:
+    """All measured points of one figure sweep."""
+
+    sizes: list[int]
+    curves: list[str]
+    #: results[label][size] -> PingPongResult
+    results: dict[str, dict[int, PingPongResult]] = field(default_factory=dict)
+
+    def series(
+        self, label: str, metric: Literal["latency", "bandwidth"]
+    ) -> list[float]:
+        """One curve as a list aligned with :attr:`sizes`."""
+        points = self.results[label]
+        if metric == "latency":
+            return [points[s].one_way_us for s in self.sizes]
+        if metric == "bandwidth":
+            return [points[s].bandwidth_MBps for s in self.sizes]
+        raise BenchError(f"unknown metric {metric!r}")
+
+    def point(self, label: str, size: int) -> PingPongResult:
+        return self.results[label][size]
+
+
+def run_sweep(
+    curves: Sequence[Curve],
+    sizes: Sequence[int],
+    reps: int = 3,
+    warmup: int = 1,
+) -> SweepResult:
+    """Measure every curve at every size (fresh session per point)."""
+    if not curves:
+        raise BenchError("no curves to sweep")
+    if not sizes:
+        raise BenchError("no sizes to sweep")
+    labels = [c.label for c in curves]
+    if len(set(labels)) != len(labels):
+        raise BenchError(f"duplicate curve labels: {labels}")
+    out = SweepResult(sizes=list(sizes), curves=labels)
+    for curve in curves:
+        points: dict[int, PingPongResult] = {}
+        for size in sizes:
+            if size < curve.segments:
+                # e.g. 4-byte total cannot form 8 non-empty segments;
+                # the paper's 4-segment curves likewise start later.
+                continue
+            session = curve.session_factory()
+            points[size] = run_pingpong(
+                session, size, segments=curve.segments, reps=reps, warmup=warmup
+            )
+        out.results[curve.label] = points
+    # drop sizes skipped by every curve; keep ragged starts otherwise
+    out.sizes = [s for s in out.sizes if any(s in out.results[l] for l in labels)]
+    return out
+
+
+def sweep_table(
+    sweep: SweepResult,
+    metric: Literal["latency", "bandwidth"],
+    title: str,
+    precision: int = 2,
+) -> Table:
+    """Render a sweep as the paper-style table: size column + one column
+    per curve (latency in µs or bandwidth in MB/s)."""
+    unit = "us" if metric == "latency" else "MB/s"
+    table = Table(
+        headers=["size"] + [f"{label} ({unit})" for label in sweep.curves],
+        title=title,
+        precision=precision,
+    )
+    for size in sweep.sizes:
+        row: list[object] = [format_size(size)]
+        for label in sweep.curves:
+            point = sweep.results[label].get(size)
+            if point is None:
+                row.append(None)
+            elif metric == "latency":
+                row.append(point.one_way_us)
+            else:
+                row.append(point.bandwidth_MBps)
+        table.add_row(*row)
+    return table

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``pingpong``     one measured point (size, segments, strategy)
+``flood``        sustained streaming throughput (windowed non-blocking sends)
+``figures``      regenerate paper figures as tables (and ASCII plots)
+``ablations``    run the design-choice ablations
+``extensions``   beyond-the-paper experiments (rail scaling, hetero mix,
+                 parallel PIO)
+``sample``       run init-time sampling and print the fitted models
+``experiments``  write the full paper-vs-measured EXPERIMENTS.md record
+``list``         show available strategies, drivers and rail presets
+
+Every command accepts ``--platform config.json`` (see
+:mod:`repro.util.config`) and defaults to the paper's 2-node
+Myri-10G + Quadrics testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench import FIGURES, report_figure, run_figure, run_pingpong, write_reports
+from .bench import ablations as ablations_mod
+from .core.sampling import sample_rails
+from .core.session import Session
+from .core.strategies import available_strategies
+from .drivers import available_drivers
+from .hardware.presets import PRESET_RAILS, paper_platform
+from .hardware.spec import PlatformSpec
+from .util.config import platform_from_json
+from .util.units import format_size, parse_size
+
+__all__ = ["main", "build_parser"]
+
+from .bench import extensions as extensions_mod
+
+EXTENSIONS = {
+    "rail_scaling": extensions_mod.ext_rail_scaling,
+    "heterogeneous_mix": extensions_mod.ext_heterogeneous_mix,
+    "parallel_pio_latency": extensions_mod.ext_parallel_pio_latency,
+}
+
+ABLATIONS = {
+    "poll_cost": ablations_mod.ablation_poll_cost,
+    "eager_threshold": ablations_mod.ablation_eager_threshold,
+    "bus_capacity": ablations_mod.ablation_bus_capacity,
+    "window": ablations_mod.ablation_window,
+    "split_ratio": ablations_mod.ablation_split_ratio,
+    "parallel_pio": ablations_mod.ablation_parallel_pio,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NewMadeleine multi-rail reproduction (HCW/IPDPS 2007)",
+    )
+    parser.add_argument(
+        "--platform", metavar="JSON", help="platform config file (default: paper testbed)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pingpong", help="measure one ping-pong point")
+    p.add_argument("--size", default="8M", help="total message size (e.g. 4, 32K, 8M)")
+    p.add_argument("--segments", type=int, default=1)
+    p.add_argument("--strategy", default="split_balance", choices=available_strategies())
+    p.add_argument("--rail", help="rail name for pinned strategies")
+    p.add_argument("--reps", type=int, default=5)
+    p.add_argument("--pio-workers", type=int, default=None, help="extra PIO threads (§4)")
+
+    fl = sub.add_parser("flood", help="measure sustained streaming throughput")
+    fl.add_argument("--size", default="256K", help="message size (e.g. 4K, 1M)")
+    fl.add_argument("--count", type=int, default=64)
+    fl.add_argument("--window", type=int, default=8, help="max outstanding sends")
+    fl.add_argument("--strategy", default="greedy", choices=available_strategies())
+
+    f = sub.add_parser("figures", help="regenerate paper figures")
+    f.add_argument("ids", nargs="*", help=f"subset of {sorted(FIGURES)} (default: all)")
+    f.add_argument("--reps", type=int, default=3)
+    f.add_argument("--plot", action="store_true", help="also render ASCII plots")
+    f.add_argument("--out", metavar="DIR", help="write .txt/.csv reports under DIR")
+
+    a = sub.add_parser("ablations", help="run design-choice ablations")
+    a.add_argument("names", nargs="*", help=f"subset of {sorted(ABLATIONS)} (default: all)")
+
+    x = sub.add_parser("extensions", help="run beyond-the-paper experiments")
+    x.add_argument("names", nargs="*", help=f"subset of {sorted(EXTENSIONS)} (default: all)")
+
+    sub.add_parser("sample", help="run init-time sampling and print the models")
+
+    e = sub.add_parser("experiments", help="write the EXPERIMENTS.md record")
+    e.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    e.add_argument("--reps", type=int, default=3)
+    e.add_argument("--no-ablations", action="store_true")
+
+    sub.add_parser("list", help="show strategies, drivers, rail presets")
+    return parser
+
+
+def _load_platform(args) -> PlatformSpec:
+    if args.platform:
+        return platform_from_json(args.platform)
+    return paper_platform()
+
+
+def _cmd_pingpong(args) -> int:
+    import dataclasses
+
+    plat = _load_platform(args)
+    if args.pio_workers is not None:
+        plat = dataclasses.replace(plat, host=plat.host.replace(pio_workers=args.pio_workers))
+    size = parse_size(args.size)
+    opts = {"rail": args.rail} if args.rail else {}
+    samples = sample_rails(plat) if args.strategy == "split_balance" else None
+    session = Session(plat, strategy=args.strategy, strategy_opts=opts, samples=samples)
+    res = run_pingpong(session, size, segments=args.segments, reps=args.reps)
+    print(
+        f"strategy={args.strategy} size={format_size(size)} segments={args.segments}:"
+        f" one-way {res.one_way_us:.2f} us, {res.bandwidth_MBps:.1f} MB/s"
+    )
+    return 0
+
+
+def _cmd_flood(args) -> int:
+    from .bench.flood import run_flood
+
+    plat = _load_platform(args)
+    size = parse_size(args.size)
+    samples = sample_rails(plat) if args.strategy == "split_balance" else None
+    session = Session(plat, strategy=args.strategy, samples=samples)
+    res = run_flood(session, size, count=args.count, window=args.window)
+    print(
+        f"flood strategy={args.strategy} {args.count}x{format_size(size)}"
+        f" window={args.window}: {res.throughput_MBps:.1f} MB/s,"
+        f" {res.message_rate_per_ms:.1f} msgs/ms"
+    )
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    ids = args.ids or sorted(FIGURES)
+    unknown = [i for i in ids if i not in FIGURES]
+    if unknown:
+        print(f"unknown figures {unknown}; available: {sorted(FIGURES)}", file=sys.stderr)
+        return 2
+    results = []
+    for figure_id in ids:
+        result = run_figure(figure_id, reps=args.reps)
+        report_figure(result)
+        if args.plot:
+            print(result.plot())
+            print()
+        results.append(result)
+    if args.out:
+        paths = write_reports(results, args.out)
+        print(f"wrote {len(paths)} files under {args.out}/")
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    names = args.names or sorted(ABLATIONS)
+    unknown = [n for n in names if n not in ABLATIONS]
+    if unknown:
+        print(f"unknown ablations {unknown}; available: {sorted(ABLATIONS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(ABLATIONS[name]().render())
+        print()
+    return 0
+
+
+def _cmd_extensions(args) -> int:
+    names = args.names or sorted(EXTENSIONS)
+    unknown = [n for n in names if n not in EXTENSIONS]
+    if unknown:
+        print(f"unknown extensions {unknown}; available: {sorted(EXTENSIONS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(EXTENSIONS[name]().render())
+        print()
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    plat = _load_platform(args)
+    table = sample_rails(plat)
+    for name in table.rail_names:
+        s = table.get(name)
+        print(f"{name:>10}: {s.bw_MBps:8.1f} MB/s + {s.overhead_us:6.2f} us")
+        for size, t in s.points:
+            print(f"{'':>12}{format_size(size):>6}: {t:10.2f} us one-way")
+    ratios = table.ratios(table.rail_names)
+    print("stripping ratios:", {k: round(v, 3) for k, v in ratios.items()})
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .bench.experiments import write_experiments_md
+
+    outcomes = write_experiments_md(
+        args.output, reps=args.reps, include_ablations=not args.no_ablations
+    )
+    ok = sum(1 for o in outcomes if o.ok)
+    print(f"{args.output}: {ok}/{len(outcomes)} paper claims reproduced")
+    return 0 if ok == len(outcomes) else 1
+
+
+def _cmd_list(args) -> int:
+    print("strategies:", ", ".join(available_strategies()))
+    print("drivers:   ", ", ".join(available_drivers()))
+    print("rails:")
+    for name, rail in sorted(PRESET_RAILS.items()):
+        print(
+            f"  {name:>8}: driver={rail.driver:<6} {rail.bw_MBps:7.1f} MB/s"
+            f" lat {rail.lat_us:5.2f} us  eager<= {format_size(rail.eager_threshold)}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "pingpong": _cmd_pingpong,
+    "flood": _cmd_flood,
+    "figures": _cmd_figures,
+    "ablations": _cmd_ablations,
+    "extensions": _cmd_extensions,
+    "sample": _cmd_sample,
+    "experiments": _cmd_experiments,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

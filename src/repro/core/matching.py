@@ -1,0 +1,308 @@
+"""Receive-side matching: (peer, tag, sequence) → posted receive.
+
+Sequence numbers are allocated independently on both sides — the sender
+numbers segments per ``(gate, tag)`` in submission order, the receiver
+numbers posted receives per ``(peer, tag)`` in posting order — so the nth
+send on a logical channel always matches the nth receive, no matter how
+packets were aggregated, split, reordered across rails, or delivered out
+of order.
+
+Three arrival-vs-post races are handled:
+
+* receive posted first (the common ping-pong case);
+* eager data arriving first — parked in the *unexpected queue* (the extra
+  copy real libraries pay; the engine charges it);
+* rendezvous request arriving first — parked until the receive is posted,
+  at which point the engine is told to emit the RDV_ACK.
+
+Wildcard receives
+-----------------
+A receive posted with :data:`ANY_SOURCE` matches the next message of its
+tag from *any* peer.  Wildcard matching is per tag FIFO over arrivals,
+with one crucial twist for multi-rail transports: packets from one peer
+can arrive out of order (different rails!), so an arrival only becomes
+*eligible* once every earlier sequence number of its ``(peer, tag)``
+channel has arrived — the per-channel **cursor**.  This preserves the
+non-overtaking guarantee per source that MPI-style layers rely on.
+
+Specific-source and wildcard receives must not be mixed on one tag (the
+combined ordering semantics would be ambiguous); mixing raises
+:class:`MatchingError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Literal, Optional
+
+from ..util.errors import MatchingError
+from .packet import Payload, RdvReq
+from .request import RecvRequest
+
+__all__ = ["MatchingTable", "PostOutcome", "MatchAction", "ANY_SOURCE"]
+
+#: wildcard peer for :meth:`MatchingTable.post_recv` / ``Interface.irecv``.
+ANY_SOURCE = -1
+
+Key = tuple[int, int, int]  # (peer node, tag, seq)
+Chan = tuple[int, int]  # (peer node, tag)
+
+
+@dataclass(frozen=True)
+class PostOutcome:
+    """Result of posting a receive.
+
+    ``kind`` is ``"posted"`` (waiting), ``"eager"`` (unexpected data was
+    already here; ``payload`` is set) or ``"rdv"`` (a rendezvous request
+    was already here; ``rdv`` is set and the caller must emit the ACK).
+    """
+
+    kind: Literal["posted", "eager", "rdv"]
+    payload: Optional[Payload] = None
+    rdv: Optional[RdvReq] = None
+    rdv_src: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MatchAction:
+    """One match produced by an arrival: complete/accept ``request``."""
+
+    kind: Literal["deliver", "rdv"]
+    request: RecvRequest
+    payload: Optional[Payload] = None
+    rdv: Optional[RdvReq] = None
+    src: Optional[int] = None
+
+
+@dataclass
+class _Arrival:
+    """A message announcement waiting for its receive."""
+
+    peer: int
+    tag: int
+    seq: int
+    kind: Literal["eager", "rdv"]
+    payload: Optional[Payload] = None
+    rdv: Optional[RdvReq] = None
+    consumed: bool = False
+
+    @property
+    def key(self) -> Key:
+        return (self.peer, self.tag, self.seq)
+
+
+class MatchingTable:
+    """Per-node receive matching state."""
+
+    def __init__(self) -> None:
+        self._posted: dict[Key, RecvRequest] = {}
+        self._recv_seq: dict[Chan, int] = {}
+        #: unconsumed arrivals by exact key (the unexpected queue)
+        self._parked: dict[Key, _Arrival] = {}
+        #: arrivals eligible for wildcard matching, per tag, FIFO
+        self._ready: dict[int, Deque[_Arrival]] = {}
+        #: out-of-order arrivals held until their channel cursor catches up
+        self._stash: dict[Chan, dict[int, _Arrival]] = {}
+        self._cursor: dict[Chan, int] = {}
+        #: waiting wildcard receives per tag, FIFO
+        self._any_posted: dict[int, Deque[RecvRequest]] = {}
+        #: per-tag matching discipline, fixed by the first posted receive
+        self._mode: dict[int, str] = {}
+        # statistics
+        self.unexpected_hits = 0
+        self.posted_hits = 0
+        self.wildcard_hits = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def posted_count(self) -> int:
+        return len(self._posted) + sum(len(q) for q in self._any_posted.values())
+
+    @property
+    def unexpected_count(self) -> int:
+        return sum(1 for a in self._parked.values() if a.kind == "eager") + sum(
+            1
+            for stash in self._stash.values()
+            for a in stash.values()
+            if a.kind == "eager"
+        )
+
+    @property
+    def pending_rdv_count(self) -> int:
+        return sum(1 for a in self._parked.values() if a.kind == "rdv") + sum(
+            1
+            for stash in self._stash.values()
+            for a in stash.values()
+            if a.kind == "rdv"
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _set_mode(self, tag: int, mode: str) -> None:
+        current = self._mode.setdefault(tag, mode)
+        if current != mode:
+            raise MatchingError(
+                f"tag {tag}: cannot mix ANY_SOURCE and specific-source receives"
+            )
+
+    def _park(self, arrival: _Arrival) -> None:
+        """An in-order arrival becomes visible to both matching paths."""
+        self._parked[arrival.key] = arrival
+        self._ready.setdefault(arrival.tag, deque()).append(arrival)
+
+    def _advance_cursor(self, arrival: _Arrival) -> None:
+        """Record an in-order arrival and release any stashed successors."""
+        chan = (arrival.peer, arrival.tag)
+        self._cursor[chan] = arrival.seq + 1
+        self._park(arrival)
+        stash = self._stash.get(chan)
+        while stash:
+            nxt = stash.pop(self._cursor[chan], None)
+            if nxt is None:
+                break
+            self._cursor[chan] = nxt.seq + 1
+            self._park(nxt)
+
+    def _pop_ready(self, tag: int) -> Optional[_Arrival]:
+        queue = self._ready.get(tag)
+        while queue:
+            arrival = queue.popleft()
+            if not arrival.consumed:
+                return arrival
+        return None
+
+    def _consume(self, arrival: _Arrival) -> None:
+        arrival.consumed = True
+        self._parked.pop(arrival.key, None)
+
+    def _action_for(self, arrival: _Arrival, request: RecvRequest) -> MatchAction:
+        # a wildcard request learns its actual source and sequence
+        request.peer = arrival.peer
+        if request.seq < 0:
+            request.seq = arrival.seq
+        if arrival.kind == "eager":
+            return MatchAction("deliver", request, payload=arrival.payload)
+        return MatchAction("rdv", request, rdv=arrival.rdv, src=arrival.peer)
+
+    def _drain_wildcards(self, tag: int) -> list[MatchAction]:
+        actions = []
+        queue = self._any_posted.get(tag)
+        while queue:
+            arrival = self._pop_ready(tag)
+            if arrival is None:
+                break
+            request = queue.popleft()
+            self._consume(arrival)
+            self.wildcard_hits += 1
+            actions.append(self._action_for(arrival, request))
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # posting receives
+    # ------------------------------------------------------------------ #
+    def post_recv(self, peer: int, tag: int, request: RecvRequest) -> PostOutcome:
+        """Register a receive; assigns its sequence number.
+
+        ``peer`` may be :data:`ANY_SOURCE`; the request's ``peer``/``seq``
+        are then filled in at match time.
+        """
+        if peer == ANY_SOURCE:
+            return self._post_wildcard(tag, request)
+        self._set_mode(tag, "exact")
+        chan = (peer, tag)
+        seq = self._recv_seq.get(chan, 0)
+        self._recv_seq[chan] = seq + 1
+        request.seq = seq
+        key = (peer, tag, seq)
+        arrival = self._parked.get(key)
+        if arrival is None:
+            # the arrival may still sit in the out-of-order stash
+            arrival = self._stash.get(chan, {}).get(seq)
+        if arrival is not None:
+            self._consume(arrival)
+            self._stash.get(chan, {}).pop(seq, None)
+            self.unexpected_hits += 1
+            if arrival.kind == "eager":
+                return PostOutcome("eager", payload=arrival.payload)
+            return PostOutcome("rdv", rdv=arrival.rdv, rdv_src=arrival.peer)
+        if key in self._posted:  # pragma: no cover - counter makes this impossible
+            raise MatchingError(f"duplicate posted receive for {key}")
+        self._posted[key] = request
+        return PostOutcome("posted")
+
+    def _post_wildcard(self, tag: int, request: RecvRequest) -> PostOutcome:
+        self._set_mode(tag, "any")
+        arrival = self._pop_ready(tag)
+        if arrival is not None:
+            self._consume(arrival)
+            self.unexpected_hits += 1
+            self.wildcard_hits += 1
+            request.peer = arrival.peer
+            request.seq = arrival.seq
+            if arrival.kind == "eager":
+                return PostOutcome("eager", payload=arrival.payload)
+            return PostOutcome("rdv", rdv=arrival.rdv, rdv_src=arrival.peer)
+        self._any_posted.setdefault(tag, deque()).append(request)
+        return PostOutcome("posted")
+
+    # ------------------------------------------------------------------ #
+    # arrivals
+    # ------------------------------------------------------------------ #
+    def arrive(
+        self,
+        peer: int,
+        tag: int,
+        seq: int,
+        kind: Literal["eager", "rdv"],
+        payload: Optional[Payload] = None,
+        rdv: Optional[RdvReq] = None,
+    ) -> list[MatchAction]:
+        """Process one arrival; returns every match it enables.
+
+        With specific-source receives the list has zero (parked) or one
+        entry; a wildcard tag may release a whole chain when this arrival
+        fills the gap the channel cursor was stuck on.
+        """
+        key = (peer, tag, seq)
+        chan = (peer, tag)
+        if key in self._parked or seq in self._stash.get(chan, {}):
+            raise MatchingError(f"duplicate arrival for {key}")
+        arrival = _Arrival(peer, tag, seq, kind, payload=payload, rdv=rdv)
+        # 1. exact posted receive wins immediately (any order of seqs)
+        request = self._posted.pop(key, None)
+        if request is not None:
+            self.posted_hits += 1
+            return [self._action_for(arrival, request)]
+        # 2. in-order bookkeeping for the wildcard path
+        cursor = self._cursor.get(chan, 0)
+        if seq == cursor:
+            self._advance_cursor(arrival)
+        elif seq > cursor:
+            self._stash.setdefault(chan, {})[seq] = arrival
+        else:
+            raise MatchingError(f"arrival {key} repeats a delivered sequence")
+        # 3. waiting wildcard receives drain whatever just became eligible
+        return self._drain_wildcards(tag)
+
+    # ------------------------------------------------------------------ #
+    # compatibility wrappers (exact-mode single-match semantics)
+    # ------------------------------------------------------------------ #
+    def match_eager(
+        self, peer: int, tag: int, seq: int, payload: Payload
+    ) -> Optional[RecvRequest]:
+        """Match arriving eager data; parks it as unexpected if unmatched."""
+        actions = self.arrive(peer, tag, seq, "eager", payload=payload)
+        return actions[0].request if actions else None
+
+    def match_rdv(self, src: int, rdv: RdvReq) -> Optional[RecvRequest]:
+        """Match an arriving rendezvous request; parks it if unmatched."""
+        actions = self.arrive(src, rdv.tag, rdv.seq, "rdv", rdv=rdv)
+        return actions[0].request if actions else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<MatchingTable posted={self.posted_count}"
+            f" unexpected={self.unexpected_count} rdv={self.pending_rdv_count}>"
+        )

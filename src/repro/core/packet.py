@@ -1,0 +1,227 @@
+"""Wire-level data model: payloads, packet wrappers, control messages.
+
+NewMadeleine's scheduling layer manipulates *packet wrappers* ("pw"): units
+of data handed to a driver.  A wrapper carries one or more **entries**:
+
+* :class:`EagerEntry` — a whole application segment sent inline (PIO).
+  Aggregation = several eager entries in one wrapper.
+* :class:`RdvReq` — rendezvous request for a large segment, announcing how
+  the sender intends to chunk it across rails.
+* :class:`RdvAck` — receiver's clearance; DMA may start.
+
+Bulk data itself never rides in a wrapper: it moves as flows and arrives as
+:class:`DmaChunk` packets.
+
+Payloads can be *real* (``bytes``, sliced and reassembled byte-for-byte —
+the integrity tests rely on this) or *virtual* (size only — the benchmark
+harness moves multi-megabyte messages without materializing them).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..util.errors import ProtocolError
+
+__all__ = [
+    "Payload",
+    "EagerEntry",
+    "RdvReq",
+    "RdvAck",
+    "PacketWrapper",
+    "DmaChunk",
+    "Entry",
+]
+
+
+class Payload:
+    """A contiguous application buffer, real or virtual.
+
+    >>> p = Payload.of(b"abcdef")
+    >>> p.slice(2, 3).data
+    b'cde'
+    >>> Payload.virtual(1024).size
+    1024
+    """
+
+    __slots__ = ("size", "data")
+
+    def __init__(self, size: int, data: Optional[bytes]):
+        if size < 0:
+            raise ProtocolError(f"negative payload size {size}")
+        if data is not None and len(data) != size:
+            raise ProtocolError(f"payload size {size} != len(data) {len(data)}")
+        self.size = size
+        self.data = data
+
+    @classmethod
+    def of(cls, source: Union[bytes, bytearray, int, "Payload"]) -> "Payload":
+        """Coerce bytes (real) or an int size (virtual) into a payload."""
+        if isinstance(source, Payload):
+            return source
+        if isinstance(source, int):
+            return cls.virtual(source)
+        if isinstance(source, (bytes, bytearray)):
+            b = bytes(source)
+            return cls(len(b), b)
+        raise ProtocolError(f"cannot build a payload from {type(source).__name__}")
+
+    @classmethod
+    def virtual(cls, size: int) -> "Payload":
+        return cls(size, None)
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    def slice(self, offset: int, length: int) -> "Payload":
+        """Sub-payload ``[offset, offset+length)``; virtual stays virtual."""
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ProtocolError(
+                f"bad slice [{offset}, {offset + length}) of payload size {self.size}"
+            )
+        if self.data is None:
+            return Payload.virtual(length)
+        return Payload(length, self.data[offset : offset + length])
+
+    def checksum(self) -> int:
+        """CRC32 of the content (0 for virtual payloads)."""
+        return 0 if self.data is None else zlib.crc32(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Payload):
+            return NotImplemented
+        return self.size == other.size and self.data == other.data
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash((self.size, self.data))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "virtual" if self.data is None else "real"
+        return f"<Payload {kind} {self.size}B>"
+
+
+@dataclass(frozen=True)
+class EagerEntry:
+    """A whole segment carried inline in an eager packet."""
+
+    tag: int
+    seq: int
+    payload: Payload
+
+    def wire_size(self, header_bytes: int) -> int:
+        return header_bytes + self.payload.size
+
+
+@dataclass(frozen=True)
+class RdvReq:
+    """Rendezvous request: announces a large segment and its chunking.
+
+    ``chunks`` is a tuple of ``(rail_index, offset, length)`` covering
+    ``[0, total_length)`` without gaps or overlaps (validated).
+    """
+
+    req_id: int
+    tag: int
+    seq: int
+    total_length: int
+    chunks: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.chunks:
+            raise ProtocolError(f"rdv {self.req_id}: empty chunk list")
+        covered = 0
+        for rail_index, offset, length in sorted(self.chunks, key=lambda c: c[1]):
+            if rail_index < 0 or length <= 0:
+                raise ProtocolError(f"rdv {self.req_id}: bad chunk {(rail_index, offset, length)}")
+            if offset != covered:
+                raise ProtocolError(
+                    f"rdv {self.req_id}: chunks leave a gap/overlap at offset {covered}"
+                )
+            covered += length
+        if covered != self.total_length:
+            raise ProtocolError(
+                f"rdv {self.req_id}: chunks cover {covered} of {self.total_length} bytes"
+            )
+
+    def wire_size(self, ctrl_bytes: int) -> int:
+        # one descriptor (8 B) per extra chunk beyond the first
+        return ctrl_bytes + 8 * (len(self.chunks) - 1)
+
+
+@dataclass(frozen=True)
+class RdvAck:
+    """Receiver's clearance for a rendezvous request."""
+
+    req_id: int
+
+    def wire_size(self, ctrl_bytes: int) -> int:
+        return ctrl_bytes // 2
+
+
+Entry = Union[EagerEntry, RdvReq, RdvAck]
+
+
+@dataclass
+class PacketWrapper:
+    """A unit of transmission produced by the optimizing scheduler.
+
+    A wrapper is bound to a destination gate; its ``rail_index`` is chosen
+    by the strategy at commit time (it is ``None`` while the wrapper sits
+    in the submission queue).  ``send_requests`` lists the application send
+    requests that complete once this wrapper is posted (eager segments).
+    """
+
+    src_node: int
+    dst_node: int
+    entries: list[Entry] = field(default_factory=list)
+    rail_index: Optional[int] = None
+    send_requests: list = field(default_factory=list)
+
+    def add(self, entry: Entry) -> None:
+        self.entries.append(entry)
+
+    @property
+    def data_entries(self) -> list[EagerEntry]:
+        return [e for e in self.entries if isinstance(e, EagerEntry)]
+
+    @property
+    def ctrl_entries(self) -> list[Entry]:
+        return [e for e in self.entries if not isinstance(e, EagerEntry)]
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(e.payload.size for e in self.data_entries)
+
+    def wire_size(self, header_bytes: int, ctrl_bytes: int) -> int:
+        """Total on-wire size of the wrapper."""
+        total = 0
+        for e in self.entries:
+            if isinstance(e, EagerEntry):
+                total += e.wire_size(header_bytes)
+            else:
+                total += e.wire_size(ctrl_bytes)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kinds = ",".join(type(e).__name__ for e in self.entries)
+        return (
+            f"<pw {self.src_node}->{self.dst_node} rail={self.rail_index}"
+            f" [{kinds}]>"
+        )
+
+
+@dataclass(frozen=True)
+class DmaChunk:
+    """One rendezvous chunk landing at the receiver via DMA."""
+
+    req_id: int
+    src_node: int
+    offset: int
+    payload: Payload
+
+    @property
+    def length(self) -> int:
+        return self.payload.size

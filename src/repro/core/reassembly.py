@@ -1,0 +1,109 @@
+"""Chunk reassembly for split (multi-rail) transfers.
+
+When the final strategy strips a large segment into chunks sent over
+different networks, the receiving side must reassemble them ("later
+reassembled on the receiving side", §4).  Chunks may arrive in any order
+and, across rails, with arbitrary interleaving; the buffer tracks covered
+intervals and detects both completion and protocol violations (overlap,
+out-of-range offsets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..util.errors import ProtocolError
+from .packet import Payload
+
+__all__ = ["ReassemblyBuffer"]
+
+
+class ReassemblyBuffer:
+    """Accumulates ``(offset, payload)`` chunks of a known-size segment."""
+
+    def __init__(self, total_length: int):
+        if total_length <= 0:
+            raise ProtocolError(f"reassembly of non-positive length {total_length}")
+        self.total_length = total_length
+        self._received = 0
+        #: sorted, disjoint, non-adjacent-merged list of (start, end) pairs
+        self._intervals: list[tuple[int, int]] = []
+        #: real chunks kept for byte-accurate reassembly; None once we know
+        #: the result will be virtual.
+        self._chunks: Optional[list[tuple[int, bytes]]] = []
+        self._any_virtual = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def received_bytes(self) -> int:
+        return self._received
+
+    @property
+    def complete(self) -> bool:
+        return self._received == self.total_length
+
+    @property
+    def missing_bytes(self) -> int:
+        return self.total_length - self._received
+
+    def add(self, offset: int, payload: Payload) -> None:
+        """Insert one chunk; raises :class:`ProtocolError` on overlap."""
+        length = payload.size
+        if length <= 0:
+            raise ProtocolError("empty reassembly chunk")
+        start, end = offset, offset + length
+        if start < 0 or end > self.total_length:
+            raise ProtocolError(
+                f"chunk [{start},{end}) outside segment of {self.total_length} bytes"
+            )
+        # insertion point + overlap check against neighbours
+        idx = 0
+        for i, (s, e) in enumerate(self._intervals):
+            if start < e and s < end:
+                raise ProtocolError(f"chunk [{start},{end}) overlaps [{s},{e})")
+            if s >= end:
+                idx = i
+                break
+            idx = i + 1
+        self._intervals.insert(idx, (start, end))
+        self._merge_around(idx)
+        self._received += length
+        if payload.is_virtual:
+            self._any_virtual = True
+            self._chunks = None
+        elif self._chunks is not None:
+            assert payload.data is not None
+            self._chunks.append((offset, payload.data))
+
+    def _merge_around(self, idx: int) -> None:
+        ivs = self._intervals
+        # merge with predecessor / successor where adjacent
+        while idx > 0 and ivs[idx - 1][1] == ivs[idx][0]:
+            ivs[idx - 1] = (ivs[idx - 1][0], ivs[idx][1])
+            del ivs[idx]
+            idx -= 1
+        while idx + 1 < len(ivs) and ivs[idx][1] == ivs[idx + 1][0]:
+            ivs[idx] = (ivs[idx][0], ivs[idx + 1][1])
+            del ivs[idx + 1]
+
+    def assemble(self) -> Payload:
+        """Return the reassembled payload; raises if incomplete.
+
+        The result is real bytes iff *every* chunk carried real bytes.
+        """
+        if not self.complete:
+            raise ProtocolError(
+                f"assemble() with {self.missing_bytes} of {self.total_length} bytes missing"
+            )
+        if self._any_virtual or self._chunks is None:
+            return Payload.virtual(self.total_length)
+        buf = bytearray(self.total_length)
+        for offset, data in self._chunks:
+            buf[offset : offset + len(data)] = data
+        return Payload(self.total_length, bytes(buf))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Reassembly {self._received}/{self.total_length}B"
+            f" intervals={self._intervals}>"
+        )

@@ -1,0 +1,174 @@
+"""Rendezvous protocol: large segments negotiated, then moved by DMA.
+
+Protocol (per large segment):
+
+1. the strategy decides a *chunking* — which rails carry which byte ranges
+   — and calls :meth:`RdvManager.initiate`, which reserves the DMA engine
+   of every involved NIC and returns the :class:`RdvReq` control entry the
+   strategy embeds in an outgoing packet;
+2. the receiver matches the request against its posted receives (parking
+   it if none) and answers with :class:`RdvAck`;
+3. on ACK the sender launches one DMA flow per chunk; each drained chunk
+   releases its NIC's DMA engine (a scheduling opportunity), each delivered
+   chunk feeds the receiver's :class:`~repro.core.reassembly.ReassemblyBuffer`;
+4. the send request completes when all chunks drained, the receive request
+   when the segment is fully reassembled.
+
+Reserving at *initiate* time (not at ACK) means a rail that has been
+promised to a transfer is never double-booked by the strategy while the
+handshake is in flight.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..util.errors import ProtocolError
+from .gate import Segment
+from .packet import DmaChunk, Payload, RdvAck, RdvReq
+from .reassembly import ReassemblyBuffer
+from .request import RecvRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import NodeEngine
+
+__all__ = ["RdvManager", "RdvSendState", "RdvRecvState"]
+
+
+class RdvSendState:
+    """Sender-side bookkeeping for one rendezvous."""
+
+    __slots__ = ("req_id", "segment", "chunks", "acked", "drained", "started_at")
+
+    def __init__(self, req_id: int, segment: Segment, chunks: tuple[tuple[int, int, int], ...], now: float):
+        self.req_id = req_id
+        self.segment = segment
+        self.chunks = chunks
+        self.acked = False
+        self.drained = 0
+        self.started_at = now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RdvSend {self.req_id} chunks={len(self.chunks)} drained={self.drained}>"
+
+
+class RdvRecvState:
+    """Receiver-side bookkeeping for one rendezvous."""
+
+    __slots__ = ("src_node", "req_id", "request", "buffer")
+
+    def __init__(self, src_node: int, req_id: int, request: RecvRequest, total_length: int):
+        self.src_node = src_node
+        self.req_id = req_id
+        self.request = request
+        self.buffer = ReassemblyBuffer(total_length)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RdvRecv {self.src_node}/{self.req_id} {self.buffer.received_bytes}B>"
+
+
+class RdvManager:
+    """Per-node rendezvous orchestration (both directions)."""
+
+    def __init__(self, engine: "NodeEngine"):
+        self.engine = engine
+        self._req_ids = itertools.count(1)
+        self._out: dict[int, RdvSendState] = {}
+        self._in: dict[tuple[int, int], RdvRecvState] = {}
+        # statistics
+        self.initiated = 0
+        self.split_count = 0
+        self.bytes_by_rail: dict[int, int] = {}
+
+    # -- sender side -------------------------------------------------------
+    def initiate(self, segment: Segment, chunks: list[tuple[int, int, int]]) -> RdvReq:
+        """Reserve rails and build the RDV_REQ control entry.
+
+        ``chunks`` is ``[(rail_index, offset, length), ...]``; rails must be
+        distinct (one DMA engine each) and currently idle.
+        """
+        rails = [c[0] for c in chunks]
+        if len(set(rails)) != len(rails):
+            raise ProtocolError(f"rendezvous uses a rail twice: {rails}")
+        req = RdvReq(
+            req_id=next(self._req_ids),
+            tag=segment.tag,
+            seq=segment.seq,
+            total_length=segment.size,
+            chunks=tuple(chunks),
+        )
+        for rail_index in rails:
+            self.engine.driver(rail_index).nic.reserve_dma()
+        self._out[req.req_id] = RdvSendState(req.req_id, segment, req.chunks, self.engine.sim.now)
+        self.initiated += 1
+        if len(chunks) > 1:
+            self.split_count += 1
+        for rail_index, _off, length in chunks:
+            self.bytes_by_rail[rail_index] = self.bytes_by_rail.get(rail_index, 0) + length
+        return req
+
+    def on_ack(self, ack: RdvAck) -> float:
+        """Receiver cleared us: launch one DMA flow per chunk.
+
+        Returns the CPU cost of posting the DMAs (charged by the pump);
+        flow ``i`` starts only after the posts of chunks ``0..i`` are done.
+        """
+        state = self._out.get(ack.req_id)
+        if state is None:
+            raise ProtocolError(f"RDV_ACK for unknown request {ack.req_id}")
+        if state.acked:
+            raise ProtocolError(f"duplicate RDV_ACK for request {ack.req_id}")
+        state.acked = True
+        seg = state.segment
+        cost = 0.0
+        for rail_index, offset, length in state.chunks:
+            drv = self.engine.driver(rail_index)
+            chunk_payload = seg.payload.slice(offset, length)
+            cost += drv.start_dma(
+                dst_node=seg.dst_node,
+                req_id=state.req_id,
+                offset=offset,
+                payload=chunk_payload,
+                delay=cost,
+                on_drain=lambda _f, s=state, r=rail_index: self._chunk_drained(s, r),
+            )
+        return cost
+
+    def _chunk_drained(self, state: RdvSendState, rail_index: int) -> None:
+        self.engine.driver(rail_index).nic.release_dma()
+        state.drained += 1
+        if state.drained == len(state.chunks):
+            del self._out[state.req_id]
+            state.segment.request._complete()
+
+    # -- receiver side -----------------------------------------------------
+    def accept(self, src_node: int, rdv: RdvReq, request: RecvRequest) -> None:
+        """A matched RDV_REQ: set up reassembly and queue the ACK."""
+        key = (src_node, rdv.req_id)
+        if key in self._in:
+            raise ProtocolError(f"duplicate rendezvous {key}")
+        self._in[key] = RdvRecvState(src_node, rdv.req_id, request, rdv.total_length)
+        self.engine.post_ctrl(src_node, RdvAck(req_id=rdv.req_id))
+
+    def on_chunk(self, chunk: DmaChunk) -> Optional[RecvRequest]:
+        """A DMA chunk landed; returns the receive request if now complete."""
+        key = (chunk.src_node, chunk.req_id)
+        state = self._in.get(key)
+        if state is None:
+            raise ProtocolError(f"DMA chunk for unknown rendezvous {key}")
+        state.buffer.add(chunk.offset, chunk.payload)
+        if state.buffer.complete:
+            del self._in[key]
+            state.request._deliver(state.buffer.assemble())
+            return state.request
+        return None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def outstanding_out(self) -> int:
+        return len(self._out)
+
+    @property
+    def outstanding_in(self) -> int:
+        return len(self._in)

@@ -1,0 +1,166 @@
+"""Init-time network sampling — NewMadeleine's ``nm_sampling``.
+
+"According to samplings performed on the different available NICs (this
+step is done at the NEWMADELEINE initialization time), an adaptive
+stripping ratio can be determined." (§3.4)
+
+:func:`sample_rails` measures every rail of a platform *inside the
+simulation*: for each rail it builds a throwaway single-rail session and
+runs short rendezvous-sized ping-pongs.  A linear transfer-time model
+
+    ``t(size) = overhead_us + size / bw_MBps``
+
+is least-squares fitted to the measurements; the resulting
+:class:`SampleTable` answers the three questions the final strategy asks:
+
+* ``ratios(rails)``   — how to strip a segment across rails (∝ fitted bw);
+* ``predict(rail, s)`` — expected one-way time of ``s`` bytes on a rail;
+* ``best_rail(rails, s)`` — which single rail is fastest for ``s`` bytes.
+
+Nothing here is hard-coded to Myri-10G/Quadrics: the table is derived from
+whatever rails the platform declares, which is what makes the strategy
+"generic plug-in" code in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.units import KB, MB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.spec import PlatformSpec
+
+__all__ = ["RailSample", "SampleTable", "sample_rails", "DEFAULT_SAMPLE_SIZES"]
+
+#: rendezvous-sized sample points (all above any eager threshold).
+DEFAULT_SAMPLE_SIZES: tuple[int, ...] = (64 * KB, 256 * KB, 1 * MB, 4 * MB)
+
+
+@dataclass(frozen=True)
+class RailSample:
+    """Fitted transfer-time model of one rail."""
+
+    rail_name: str
+    points: tuple[tuple[int, float], ...]  # (size, one-way us)
+    overhead_us: float
+    bw_MBps: float
+
+    @classmethod
+    def fit(cls, rail_name: str, points: Sequence[tuple[int, float]]) -> "RailSample":
+        """Least-squares fit of ``t = overhead + size/bw``."""
+        if len(points) < 2:
+            raise ConfigError(f"rail {rail_name}: need >= 2 sample points")
+        sizes = np.array([p[0] for p in points], dtype=float)
+        times = np.array([p[1] for p in points], dtype=float)
+        slope, intercept = np.polyfit(sizes, times, 1)
+        if slope <= 0:
+            raise ConfigError(
+                f"rail {rail_name}: non-increasing transfer times {points}"
+            )
+        return cls(
+            rail_name=rail_name,
+            points=tuple((int(s), float(t)) for s, t in points),
+            overhead_us=float(max(intercept, 0.0)),
+            bw_MBps=float(1.0 / slope),
+        )
+
+    def predict_us(self, size: int) -> float:
+        """Predicted one-way transfer time for ``size`` bytes."""
+        return self.overhead_us + size / self.bw_MBps
+
+
+class SampleTable:
+    """Per-rail fitted samples for one platform."""
+
+    def __init__(self, samples: Mapping[str, RailSample]):
+        if not samples:
+            raise ConfigError("empty sample table")
+        self._samples = dict(samples)
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, rail_name: str) -> bool:
+        return rail_name in self._samples
+
+    @property
+    def rail_names(self) -> list[str]:
+        return sorted(self._samples)
+
+    def get(self, rail_name: str) -> RailSample:
+        try:
+            return self._samples[rail_name]
+        except KeyError:
+            raise ConfigError(
+                f"no sample for rail {rail_name!r}; have {self.rail_names}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    def ratios(self, rail_names: Iterable[str]) -> dict[str, float]:
+        """Stripping ratios proportional to fitted bandwidth (sum to 1)."""
+        names = list(rail_names)
+        bws = [self.get(n).bw_MBps for n in names]
+        total = sum(bws)
+        return {n: b / total for n, b in zip(names, bws)}
+
+    def predict_us(self, rail_name: str, size: int) -> float:
+        return self.get(rail_name).predict_us(size)
+
+    def best_rail(self, rail_names: Iterable[str], size: int) -> str:
+        """The single rail with the lowest predicted time for ``size``."""
+        names = list(rail_names)
+        if not names:
+            raise ConfigError("best_rail over an empty rail set")
+        return min(names, key=lambda n: self.predict_us(n, size))
+
+    def split_predict_us(
+        self, rail_names: Sequence[str], size: int, ratios: Optional[Mapping[str, float]] = None
+    ) -> float:
+        """Predicted completion of ``size`` bytes stripped across rails.
+
+        Completion is the slowest chunk: ``max_i(O_i + r_i*size/B_i)``.
+        """
+        names = list(rail_names)
+        r = dict(ratios) if ratios is not None else self.ratios(names)
+        return max(self.predict_us(n, int(round(r[n] * size))) for n in names)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(
+            f"{s.rail_name}: {s.bw_MBps:.0f}MB/s+{s.overhead_us:.1f}us"
+            for s in self._samples.values()
+        )
+        return f"<SampleTable {parts}>"
+
+
+def sample_rails(
+    spec: "PlatformSpec",
+    sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES,
+    reps: int = 3,
+    warmup: int = 1,
+) -> SampleTable:
+    """Measure every rail of ``spec`` with single-rail ping-pongs.
+
+    Each rail gets its own throwaway two-node session running the plain
+    ``single_rail`` strategy (no optimization, no other NIC polled), just
+    like NewMadeleine samples each driver in isolation at start-up.
+    """
+    # Local imports: sampling sits below Session in the layering but uses
+    # it operationally; importing lazily avoids the cycle.
+    from ..bench.pingpong import run_pingpong
+    from .session import Session
+
+    if len(sizes) < 2:
+        raise ConfigError("sampling needs at least two sizes for the fit")
+    samples: dict[str, RailSample] = {}
+    for rail in spec.rails:
+        sub_spec = spec.single_rail(rail.name).replace(n_nodes=2)
+        points: list[tuple[int, float]] = []
+        for size in sizes:
+            session = Session(sub_spec, strategy="single_rail")
+            res = run_pingpong(session, size, segments=1, reps=reps, warmup=warmup)
+            points.append((size, res.one_way_us))
+        samples[rail.name] = RailSample.fit(rail.name, points)
+    return SampleTable(samples)

@@ -1,0 +1,297 @@
+"""The transversal core scheduler — one progress *pump* per node.
+
+This is the architectural heart of the paper (§2): request processing is
+disconnected from the API.  Application calls only enqueue segments; a
+per-node pump process runs in relationship with **NIC activity**:
+
+1. **poll phase** — every registered driver is polled (each poll costs
+   CPU, even on rails carrying no traffic: that mandatory cost is the
+   multi-rail latency penalty of Fig 6);
+2. **handle phase** — arrived packets are demultiplexed: eager entries
+   matched/delivered, rendezvous requests matched and ACKed, ACKs start
+   DMA flows, DMA chunks feed reassembly;
+3. **commit phase** — for each driver, fastest rail first, the strategy
+   is consulted *just in time* for at most one packet wrapper, which is
+   PIO-posted at the driver's cost.  One wrapper per driver per sweep is
+   what makes a backlog spread across NICs ("each time a NIC becomes
+   idle ... sends the first available segment on the corresponding
+   network") while still letting aggregation pack many segments into that
+   single wrapper.
+
+When a sweep neither received, handled, nor committed anything and no
+packet is waiting, the pump blocks on the host's activity signal; every
+state change that could enable progress (application submit, packet
+arrival, DMA engine released) fires it.  While the application computes
+and the NICs are busy, requests therefore accumulate — the paper's
+"optimization window" — at zero CPU cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..drivers.registry import make_driver
+from ..sim.process import Process, Timeout, spawn
+from ..trace.tracer import Counters
+from ..util.errors import ApiError, ProtocolError
+from .gate import Gate, Segment
+from .matching import MatchingTable
+from .packet import DmaChunk, EagerEntry, Payload, PacketWrapper, RdvAck, RdvReq
+from .rendezvous import RdvManager
+from .request import RecvRequest, SendRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..drivers.base import Driver
+    from .session import Session
+
+__all__ = ["NodeEngine"]
+
+
+class NodeEngine:
+    """The per-node communication engine: drivers + strategy + pump."""
+
+    def __init__(self, session: "Session", node_id: int, strategy: Any):
+        self.session = session
+        self.sim = session.sim
+        self.platform = session.platform
+        self.node_id = node_id
+        self.host = self.platform.host(node_id)
+        self.drivers: list["Driver"] = [
+            make_driver(self.platform, rail_index, node_id)
+            for rail_index in range(self.platform.n_rails)
+        ]
+        #: commit/poll order: fastest (lowest-latency) rail first, so that
+        #: control handshakes ride the low-latency network.
+        self._order = sorted(
+            range(len(self.drivers)), key=lambda i: self.drivers[i].latency_us
+        )
+        self.strategy = strategy
+        self.matching = MatchingTable()
+        self.rdv = RdvManager(self)
+        self.gates: dict[int, Gate] = {}
+        self.counters = Counters()
+        self.tracer = session.tracer
+        for drv in self.drivers:
+            drv.tracer = self.tracer
+        self._stopped = False
+        strategy.bind(self)
+        self.pump: Process = spawn(self.sim, self._pump_loop(), name=f"pump{node_id}")
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def driver(self, rail_index: int) -> "Driver":
+        return self.drivers[rail_index]
+
+    def gate(self, peer_node: int) -> Gate:
+        gate = self.gates.get(peer_node)
+        if gate is None:
+            gate = self.gates[peer_node] = Gate(self.node_id, peer_node)
+        return gate
+
+    # ------------------------------------------------------------------ #
+    # collect layer entry points (called from application processes)
+    # ------------------------------------------------------------------ #
+    def submit(self, dst_node: int, tag: int, payload: Payload) -> SendRequest:
+        """Queue one segment for ``dst_node``; returns its send request."""
+        if dst_node == self.node_id:
+            raise ApiError(f"node {self.node_id}: send to self is not supported")
+        if not 0 <= dst_node < self.platform.n_nodes:
+            raise ApiError(f"no such node {dst_node}")
+        gate = self.gate(dst_node)
+        seq = gate.next_seq(tag)
+        request = SendRequest(self.sim, dst_node, tag, seq, payload)
+        segment = Segment(
+            dst_node=dst_node,
+            tag=tag,
+            seq=seq,
+            payload=payload,
+            request=request,
+            submitted_at=self.sim.now,
+        )
+        gate.note_submit(payload.size)
+        self.counters.add("segments_submitted")
+        self.counters.add("bytes_submitted", payload.size)
+        self.strategy.pack(self, segment)
+        self.host.wake()
+        return request
+
+    def post_recv(self, src_node: int, tag: int) -> RecvRequest:
+        """Post one receive for the next segment from ``src_node``/``tag``.
+
+        ``src_node`` may be :data:`~repro.core.matching.ANY_SOURCE`.
+        """
+        from .matching import ANY_SOURCE
+
+        if src_node == self.node_id:
+            raise ApiError(f"node {self.node_id}: receive from self is not supported")
+        if src_node != ANY_SOURCE and not 0 <= src_node < self.platform.n_nodes:
+            raise ApiError(f"no such node {src_node}")
+        request = RecvRequest(self.sim, src_node, tag, seq=-1)
+        outcome = self.matching.post_recv(src_node, tag, request)
+        if outcome.kind == "eager":
+            # Data already sat in the unexpected queue.
+            self.counters.add("unexpected_matches")
+            assert outcome.payload is not None
+            request._deliver(outcome.payload)
+        elif outcome.kind == "rdv":
+            assert outcome.rdv is not None and outcome.rdv_src is not None
+            self.rdv.accept(outcome.rdv_src, outcome.rdv, request)
+            self.host.wake()
+        return request
+
+    def post_ctrl(self, dst_node: int, entry: Any) -> None:
+        """Queue a control entry (used by the rendezvous manager)."""
+        self.strategy.pack_ctrl(self, dst_node, entry)
+        self.host.wake()
+
+    def stop(self) -> None:
+        """Ask the pump to exit at its next wake-up (session teardown)."""
+        self._stopped = True
+        self.host.wake()
+
+    # ------------------------------------------------------------------ #
+    # packet handling
+    # ------------------------------------------------------------------ #
+    def _defer_actions(
+        self, actions: list, deferred: list[Callable[[], None]]
+    ) -> None:
+        """Queue match actions to run after the handling cost elapsed.
+
+        One arrival may enable several matches (a wildcard tag releasing a
+        chain of arrivals), and may enable rendezvous accepts even when
+        the arrival itself was eager data.
+        """
+        for action in actions:
+            if action.kind == "deliver":
+                deferred.append(
+                    lambda a=action: a.request._deliver(a.payload)
+                )
+            else:
+                deferred.append(
+                    lambda a=action: self.rdv.accept(a.src, a.rdv, a.request)
+                )
+
+    def _handle_packet(
+        self, driver: "Driver", pkt: Any
+    ) -> tuple[float, list[Callable[[], None]]]:
+        """Demultiplex one arrived packet.
+
+        Returns ``(cpu_cost_us, deferred)``: the pump charges the cost,
+        *then* runs the deferred completions/acceptances so that requests
+        complete at the correct simulated time.
+        """
+        deferred: list[Callable[[], None]] = []
+        spec = driver.spec
+        if isinstance(pkt, PacketWrapper):
+            self.counters.add("packets_handled")
+            cost = spec.handle_cost_us
+            cost += max(0, len(pkt.entries) - 1) * spec.entry_cost_us
+            for entry in pkt.entries:
+                if isinstance(entry, EagerEntry):
+                    self.counters.add("eager_rx")
+                    cost += self.host.memcpy_us(entry.payload.size)
+                    actions = self.matching.arrive(
+                        pkt.src_node, entry.tag, entry.seq, "eager", payload=entry.payload
+                    )
+                    if not actions:
+                        self.counters.add("unexpected_eager")
+                    self._defer_actions(actions, deferred)
+                elif isinstance(entry, RdvReq):
+                    self.counters.add("rdv_req_rx")
+                    actions = self.matching.arrive(
+                        pkt.src_node, entry.tag, entry.seq, "rdv", rdv=entry
+                    )
+                    if not actions:
+                        self.counters.add("rdv_unexpected")
+                    self._defer_actions(actions, deferred)
+                elif isinstance(entry, RdvAck):
+                    self.counters.add("rdv_ack_rx")
+                    cost += self.rdv.on_ack(entry)
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"unknown entry {entry!r}")
+            return cost, deferred
+        if isinstance(pkt, DmaChunk):
+            self.counters.add("dma_chunks_rx")
+            cost = spec.handle_cost_us
+            if not spec.zero_copy_recv:
+                cost += self.host.memcpy_us(pkt.length)
+            deferred.append(lambda c=pkt: self.rdv.on_chunk(c))
+            return cost, deferred
+        raise ProtocolError(f"node {self.node_id}: unknown packet {pkt!r}")
+
+    # ------------------------------------------------------------------ #
+    # the pump
+    # ------------------------------------------------------------------ #
+    def _pump_loop(self):
+        while not self._stopped:
+            self.counters.add("sweeps")
+            progressed = False
+            # --- poll phase -------------------------------------------
+            arrived: list[tuple["Driver", Any]] = []
+            for idx in self._order:
+                driver = self.drivers[idx]
+                cost, pkts = driver.poll()
+                self.counters.add("polls")
+                if cost > 0:
+                    yield Timeout(cost)
+                for p in pkts:
+                    arrived.append((driver, p))
+            # --- handle phase -----------------------------------------
+            for driver, pkt in arrived:
+                cost, deferred = self._handle_packet(driver, pkt)
+                if cost > 0:
+                    yield Timeout(cost)
+                for fn in deferred:
+                    fn()
+                progressed = True
+            # --- commit phase (one wrapper per driver per sweep) -------
+            for idx in self._order:
+                driver = self.drivers[idx]
+                if driver.nic.tx_busy_until > self.sim.now:
+                    # an offloaded PIO copy still owns this NIC's eager
+                    # path; revisit when it frees
+                    self.sim.at(driver.nic.tx_busy_until, self.host.wake)
+                    continue
+                pw = self.strategy.try_and_commit(self, driver)
+                if pw is None:
+                    continue
+                data_entries = pw.data_entries
+                if len(data_entries) > 1:
+                    # aggregation copy into one contiguous buffer
+                    copy_us = self.host.memcpy_us(pw.data_bytes)
+                    self.counters.add("aggregated_packets")
+                    self.counters.add("aggregated_segments", len(data_entries))
+                    yield Timeout(copy_us)
+                # §4 future work: offload the PIO copy to a worker thread
+                post, copy = driver.eager_cost_parts(pw)
+                offloaded = self.host.has_pio_workers and self.host.try_claim_pio_worker(
+                    self.sim.now + post, copy
+                )
+                cost = driver.post_eager(pw, copy_offloaded=offloaded)
+                self.counters.add("packets_committed")
+                if offloaded:
+                    self.counters.add("pio_offloads")
+                self.tracer.record(
+                    self.sim.now, self.node_id, "commit",
+                    f"rail={driver.name} entries={len(pw.entries)}"
+                    + (" offloaded" if offloaded else ""),
+                )
+                yield Timeout(cost)
+                if offloaded:
+                    # requests complete when the worker finishes the copy
+                    self.sim.schedule(
+                        copy,
+                        lambda reqs=tuple(pw.send_requests): [r._complete() for r in reqs],
+                    )
+                else:
+                    for req in pw.send_requests:
+                        req._complete()
+                progressed = True
+            # --- idle? --------------------------------------------------
+            rx_waiting = any(d.nic.rx_pending for d in self.drivers)
+            if not progressed and not rx_waiting and not self._stopped:
+                yield self.host.activity
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NodeEngine node={self.node_id} strategy={self.strategy.name}>"

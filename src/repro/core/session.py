@@ -1,0 +1,124 @@
+"""Session façade: platform + engines + strategy, ready to communicate.
+
+A :class:`Session` is the top-level object a user builds::
+
+    from repro import Session, paper_platform
+
+    session = Session(paper_platform(), strategy="split_balance")
+    a, b = session.interface(0), session.interface(1)
+    ... spawn processes that isend/irecv ...
+    session.run_until_idle()
+
+One strategy *instance per node* is created from the registry (strategies
+are stateful).  Sampling (`repro.core.sampling`) is not run implicitly —
+pass a precomputed :class:`~repro.core.sampling.SampleTable` via
+``samples=`` (the figure runners sample once and share the table across
+the sweep); strategies that want samples but get none fall back to spec
+parameters explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping, Optional
+
+from ..hardware.platform import Platform
+from ..hardware.spec import PlatformSpec
+from ..sim.engine import Simulator
+from ..sim.process import Process, spawn
+from ..trace.tracer import Counters, Tracer
+from ..util.errors import ConfigError
+from .sampling import SampleTable
+from .scheduler import NodeEngine
+from .strategies.registry import make_strategy
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A live NewMadeleine instance over a simulated platform."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        strategy: Any = "aggreg",
+        strategy_opts: Optional[Mapping[str, Any]] = None,
+        samples: Optional[SampleTable] = None,
+        sim: Optional[Simulator] = None,
+        trace: bool = False,
+    ):
+        if not isinstance(spec, PlatformSpec):
+            raise ConfigError(f"spec must be a PlatformSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.sim = sim if sim is not None else Simulator()
+        self.platform = Platform(self.sim, spec)
+        self.samples = samples
+        self.tracer = Tracer(trace)
+        from .strategies.base import Strategy
+
+        if isinstance(strategy, Strategy):
+            raise ConfigError(
+                "pass a strategy name or class, not an instance: strategies"
+                " are stateful and every node needs its own"
+            )
+        opts = dict(strategy_opts or {})
+        self.engines: list[NodeEngine] = [
+            NodeEngine(self, node_id, make_strategy(strategy, **opts))
+            for node_id in range(spec.n_nodes)
+        ]
+        self._interfaces: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def engine(self, node_id: int) -> NodeEngine:
+        try:
+            return self.engines[node_id]
+        except IndexError:
+            raise ConfigError(f"no node {node_id} (have {len(self.engines)})") from None
+
+    def interface(self, node_id: int):
+        """The collect-layer API of one node (cached per node)."""
+        iface = self._interfaces.get(node_id)
+        if iface is None:
+            from ..api.sendrecv import Interface
+
+            iface = self._interfaces[node_id] = Interface(self.engine(node_id))
+        return iface
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def spawn(self, gen: Generator, name: str = "app") -> Process:
+        """Start an application process on the session's simulator."""
+        return spawn(self.sim, gen, name=name)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        self.sim.run_until_idle(max_events=max_events)
+
+    def stop(self) -> None:
+        """Shut down all pumps (not required for the sim to terminate)."""
+        for engine in self.engines:
+            engine.stop()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def counters(self, node_id: Optional[int] = None) -> Counters:
+        """Counters of one node, or all nodes merged."""
+        if node_id is not None:
+            return self.engine(node_id).counters
+        merged = Counters()
+        for engine in self.engines:
+            merged = merged.merge(engine.counters)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover
+        rails = ",".join(r.name for r in self.spec.rails)
+        return f"<Session nodes={self.n_nodes} rails=[{rails}]>"

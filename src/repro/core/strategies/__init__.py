@@ -1,0 +1,29 @@
+"""Optimizing schedulers ("strategies") — the paper's pluggable modules."""
+
+from .aggreg import AggregStrategy
+from .aggreg_multirail import AggregMultirailStrategy
+from .base import Strategy
+from .checker import CheckedStrategy
+from .greedy import GreedyStrategy
+from .registry import (
+    available_strategies,
+    make_strategy,
+    register_strategy,
+    strategy_class,
+)
+from .single_rail import SingleRailStrategy
+from .split_balance import SplitBalanceStrategy
+
+__all__ = [
+    "Strategy",
+    "CheckedStrategy",
+    "SingleRailStrategy",
+    "AggregStrategy",
+    "GreedyStrategy",
+    "AggregMultirailStrategy",
+    "SplitBalanceStrategy",
+    "register_strategy",
+    "make_strategy",
+    "strategy_class",
+    "available_strategies",
+]

@@ -1,0 +1,98 @@
+"""Aggregation on the fastest rail + greedy balancing of large segments
+(§3.3 / Fig 6).
+
+The second refinement of the paper: "aggregates small messages as soon as
+they are submitted, favoring their transfer on the fastest network (that
+is, Quadrics) and proceeding afterward in a greedy fashion".
+
+* *small* segments (eager-eligible on the lowest-latency rail) go to a
+  dedicated queue served **only** by that rail, with opportunistic
+  aggregation;
+* *large* segments are balanced greedily: the first consulted driver with
+  a free DMA engine takes the head of the large queue as a single-chunk
+  rendezvous (one over MX/Myri-10G, one over Elan/Quadrics, ...).
+
+The Fig 6 gap versus a Quadrics-only configuration comes from the engine,
+not from this strategy: the Myri-10G NIC still has to be polled on every
+progress sweep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from ...util.errors import StrategyError
+from ..gate import Segment
+from ..packet import PacketWrapper
+from .base import Strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...drivers.base import Driver
+    from ..scheduler import NodeEngine
+
+__all__ = ["AggregMultirailStrategy"]
+
+
+class AggregMultirailStrategy(Strategy):
+    """Small → aggregate on fastest rail; large → greedy over idle rails."""
+
+    name = "aggreg_multirail"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._small: Deque[Segment] = deque()
+        self._large: Deque[Segment] = deque()
+        self._fastest_index: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    def bind(self, engine: "NodeEngine") -> None:
+        super().bind(engine)
+        drivers = engine.drivers
+        if not drivers:
+            raise StrategyError("no drivers to bind to")
+        self._fastest_index = min(drivers, key=lambda d: d.latency_us).rail_index
+
+    @property
+    def fastest_index(self) -> int:
+        if self._fastest_index is None:
+            raise StrategyError(f"strategy {self.name} not bound yet")
+        return self._fastest_index
+
+    def _fastest_driver(self, engine: "NodeEngine") -> "Driver":
+        return engine.driver(self.fastest_index)
+
+    # ------------------------------------------------------------------ #
+    def pack(self, engine: "NodeEngine", segment: Segment) -> None:
+        self.segments_packed += 1
+        if self._fastest_driver(engine).eager_eligible(segment.size):
+            self._small.append(segment)
+        else:
+            self._large.append(segment)
+
+    def try_and_commit(
+        self, engine: "NodeEngine", driver: "Driver"
+    ) -> Optional[PacketWrapper]:
+        pw = self.commit_ctrl(engine, driver)
+        if pw is not None:
+            return pw
+        # small messages: only on the fastest rail, aggregated
+        if driver.rail_index == self.fastest_index and self._small:
+            seg = self._small[0]
+            pw = self.make_pw(engine, seg.dst_node, driver)
+            self.fill_with_eager(pw, driver, self._small)
+            self.packets_committed += 1
+            return pw
+        # large messages: greedy over DMA-idle rails
+        if self._large and driver.dma_idle:
+            seg = self._large.popleft()
+            req = engine.rdv.initiate(seg, [(driver.rail_index, 0, seg.size)])
+            pw = self.make_pw(engine, seg.dst_node, driver)
+            pw.add(req)
+            self.packets_committed += 1
+            return pw
+        return None
+
+    @property
+    def backlog(self) -> int:
+        return len(self._small) + len(self._large)

@@ -1,0 +1,152 @@
+"""Strategy (optimizing scheduler) interface.
+
+A strategy is the interchangeable middle-layer module of Figure 1: it
+*collects* application segments (:meth:`Strategy.pack`) and is *consulted
+just-in-time* whenever the engine's pump finds a NIC able to emit
+(:meth:`Strategy.try_and_commit`).  Between those two moments requests
+accumulate — that backlog is the paper's "optimization window", and it is
+what aggregation, balancing and splitting decisions are made over.
+
+Contract for ``try_and_commit(engine, driver)``:
+
+* return a :class:`~repro.core.packet.PacketWrapper` bound to ``driver``'s
+  rail (``rail_index`` set) whose wire size fits the driver's eager
+  threshold — the pump will post it and charge the PIO cost; or ``None``
+  if nothing should be emitted on this driver right now;
+* the pump keeps calling until ``None``, for every driver, fastest rail
+  first, on every sweep;
+* large segments are not emitted directly: the strategy picks a chunking,
+  calls :meth:`RdvManager.initiate` (which reserves the DMA engines), and
+  emits the returned RDV_REQ as a control entry.
+
+Control entries (RDV_ACKs queued by the engine) are kept in a per-peer
+queue here in the base class; every concrete strategy emits pending
+control before data, on the first driver consulted — which, given the
+pump's fastest-first commit order, puts handshakes on the lowest-latency
+rail, like NewMadeleine does.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from ...util.errors import StrategyError
+from ..gate import Segment
+from ..packet import EagerEntry, Entry, PacketWrapper
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...drivers.base import Driver
+    from ..scheduler import NodeEngine
+
+__all__ = ["Strategy"]
+
+
+class Strategy(ABC):
+    """Base class for optimizing schedulers (one instance per node)."""
+
+    #: registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.engine: Optional["NodeEngine"] = None
+        self._ctrl: dict[int, Deque[Entry]] = {}
+        # statistics
+        self.segments_packed = 0
+        self.packets_committed = 0
+        self.aggregated_segments = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def bind(self, engine: "NodeEngine") -> None:
+        """Attach to a node engine (called once, before any traffic)."""
+        if self.engine is not None:
+            raise StrategyError(f"strategy {self.name} bound twice")
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # collect side
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def pack(self, engine: "NodeEngine", segment: Segment) -> None:
+        """Accept one application segment into the submission queues."""
+
+    def pack_ctrl(self, engine: "NodeEngine", dst_node: int, entry: Entry) -> None:
+        """Queue a control entry (e.g. RDV_ACK) for ``dst_node``."""
+        self._ctrl.setdefault(dst_node, deque()).append(entry)
+
+    # ------------------------------------------------------------------ #
+    # scheduling side
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def try_and_commit(
+        self, engine: "NodeEngine", driver: "Driver"
+    ) -> Optional[PacketWrapper]:
+        """Produce the next wrapper for ``driver``, or None."""
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def make_pw(self, engine: "NodeEngine", dst_node: int, driver: "Driver") -> PacketWrapper:
+        return PacketWrapper(
+            src_node=engine.node_id, dst_node=dst_node, rail_index=driver.rail_index
+        )
+
+    def commit_ctrl(
+        self, engine: "NodeEngine", driver: "Driver"
+    ) -> Optional[PacketWrapper]:
+        """Emit all queued control entries for one peer, if any.
+
+        Control entries are tiny; all entries for one destination aggregate
+        into a single wrapper.
+        """
+        for dst_node, queue in self._ctrl.items():
+            if not queue:
+                continue
+            pw = self.make_pw(engine, dst_node, driver)
+            while queue:
+                pw.add(queue.popleft())
+            self.packets_committed += 1
+            return pw
+        return None
+
+    def ctrl_pending(self) -> bool:
+        return any(self._ctrl.values())
+
+    def append_segment(self, pw: PacketWrapper, segment: Segment) -> None:
+        """Embed a whole segment as an eager entry of ``pw``."""
+        pw.add(EagerEntry(tag=segment.tag, seq=segment.seq, payload=segment.payload))
+        pw.send_requests.append(segment.request)
+
+    def fill_with_eager(
+        self,
+        pw: PacketWrapper,
+        driver: "Driver",
+        queue: Deque[Segment],
+    ) -> int:
+        """Opportunistic aggregation: move queue-head segments into ``pw``.
+
+        Takes consecutive head segments that (a) target ``pw``'s peer and
+        (b) still fit the driver's eager packet limit; stops at the first
+        segment that fails either test (FIFO order is never violated for a
+        given peer).  Returns the number of segments aggregated.
+        """
+        taken = 0
+        while queue:
+            seg = queue[0]
+            if seg.dst_node != pw.dst_node:
+                break
+            entry_size = driver.spec.header_bytes + seg.size
+            if driver.wire_size(pw) + entry_size > driver.max_eager_bytes:
+                break
+            queue.popleft()
+            self.append_segment(pw, seg)
+            taken += 1
+        if taken > 1:
+            self.aggregated_segments += taken
+        return taken
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Strategy {self.name}>"

@@ -1,0 +1,151 @@
+"""Contract checker for custom strategies.
+
+NewMadeleine's selling point is that users plug in their own optimizing
+schedulers; this module makes that safe in the reproduction.  Wrap any
+strategy in :class:`CheckedStrategy` and every engine interaction is
+validated against the strategy contract of
+:mod:`repro.core.strategies.base`:
+
+* every committed wrapper is bound to the consulted driver's rail;
+* its wire size fits that driver's eager threshold;
+* embedded send requests correspond to segments that were actually packed
+  (each exactly once — no duplication, no invention);
+* control entries queued via ``pack_ctrl`` are eventually emitted;
+* a large segment is never embedded as eager data on a driver where it is
+  not eager-eligible.
+
+Violations raise :class:`~repro.util.errors.StrategyError` at the exact
+call that broke the contract, which is far easier to debug than a
+corrupted transfer three rendezvous later.  Usage::
+
+    session = Session(plat, strategy=CheckedStrategy.wrapping("my_strategy"))
+    ...                      # or: strategy=CheckedStrategy, strategy_opts={"inner": "greedy"}
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ...util.errors import StrategyError
+from ..gate import Segment
+from ..packet import EagerEntry, PacketWrapper
+from .base import Strategy
+from .registry import make_strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...drivers.base import Driver
+    from ..scheduler import NodeEngine
+
+__all__ = ["CheckedStrategy"]
+
+
+class CheckedStrategy(Strategy):
+    """A validating proxy around another strategy."""
+
+    name = "checked"
+
+    def __init__(self, inner: Any = "aggreg", **inner_opts: Any):
+        super().__init__()
+        self.inner = make_strategy(inner, **inner_opts)
+        self.name = f"checked({self.inner.name})"
+        #: packed segments not yet seen in a wrapper, by (dst, tag, seq)
+        self._outstanding: dict[tuple[int, int, int], Any] = {}
+        self._packed_total = 0
+        self._ctrl_queued = 0
+        self._ctrl_emitted = 0
+
+    @classmethod
+    def wrapping(cls, inner: Any, **inner_opts: Any):
+        """A factory usable as a Session ``strategy=`` argument."""
+        return lambda: cls(inner, **inner_opts)
+
+    # ------------------------------------------------------------------ #
+    def bind(self, engine: "NodeEngine") -> None:
+        super().bind(engine)
+        self.inner.bind(engine)
+
+    def pack(self, engine: "NodeEngine", segment: Segment) -> None:
+        self._outstanding[(segment.dst_node, segment.tag, segment.seq)] = segment.request
+        self._packed_total += 1
+        self.inner.pack(engine, segment)
+
+    def pack_ctrl(self, engine: "NodeEngine", dst_node: int, entry) -> None:
+        self._ctrl_queued += 1
+        self.inner.pack_ctrl(engine, dst_node, entry)
+
+    def try_and_commit(
+        self, engine: "NodeEngine", driver: "Driver"
+    ) -> Optional[PacketWrapper]:
+        pw = self.inner.try_and_commit(engine, driver)
+        if pw is None:
+            return None
+        self._validate(driver, pw)
+        return pw
+
+    # ------------------------------------------------------------------ #
+    def _validate(self, driver: "Driver", pw: PacketWrapper) -> None:
+        label = f"strategy {self.inner.name!r}"
+        if pw.rail_index != driver.rail_index:
+            raise StrategyError(
+                f"{label} committed a wrapper bound to rail {pw.rail_index}"
+                f" when consulted for rail {driver.rail_index}"
+            )
+        size = driver.wire_size(pw)
+        if size > driver.max_eager_bytes:
+            raise StrategyError(
+                f"{label} committed a {size}B wrapper over the"
+                f" {driver.max_eager_bytes}B eager limit of {driver.name}"
+            )
+        if not pw.entries:
+            raise StrategyError(f"{label} committed an empty wrapper")
+        from ..packet import RdvReq
+
+        eager_requests = []
+        for entry in pw.entries:
+            if isinstance(entry, EagerEntry):
+                if not driver.eager_eligible(entry.payload.size):
+                    raise StrategyError(
+                        f"{label} embedded a {entry.payload.size}B segment as"
+                        f" eager data on {driver.name}"
+                    )
+            if isinstance(entry, (EagerEntry, RdvReq)):
+                key = (pw.dst_node, entry.tag, entry.seq)
+                request = self._outstanding.pop(key, None)
+                if request is None:
+                    raise StrategyError(
+                        f"{label} emitted segment {key} it never packed"
+                        " (or emitted twice)"
+                    )
+                if isinstance(entry, EagerEntry):
+                    eager_requests.append(request)
+            else:
+                self._ctrl_emitted += 1
+        listed = list(pw.send_requests)
+        if len(set(map(id, listed))) != len(listed):
+            raise StrategyError(f"{label} listed a send request twice")
+        if set(map(id, listed)) != set(map(id, eager_requests)):
+            raise StrategyError(
+                f"{label} listed {len(listed)} send requests but embedded"
+                f" {len(eager_requests)} eager segments (they must match"
+                " one-to-one; rendezvous segments complete at drain)"
+            )
+        self.packets_committed += 1
+
+    # ------------------------------------------------------------------ #
+    def assert_drained(self) -> None:
+        """After traffic finished: nothing packed is still unsent and
+        every queued control entry was emitted."""
+        if self._outstanding:
+            raise StrategyError(
+                f"strategy {self.inner.name!r} still holds"
+                f" {len(self._outstanding)} packed segments"
+            )
+        if self._ctrl_emitted < self._ctrl_queued:
+            raise StrategyError(
+                f"strategy {self.inner.name!r} dropped"
+                f" {self._ctrl_queued - self._ctrl_emitted} control entries"
+            )
+
+    @property
+    def backlog(self) -> int:
+        return getattr(self.inner, "backlog", len(self._outstanding))

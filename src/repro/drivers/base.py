@@ -1,0 +1,228 @@
+"""Driver abstraction — NewMadeleine's transmit layer.
+
+A driver interfaces the engine with one NIC and hides the network API
+behind three operations, mirroring the paper's Figure 1 (PIO/RDV/put-get
+tracks):
+
+* :meth:`poll` — progress the NIC; returns its per-sweep CPU cost and any
+  arrived packets.  The pump calls this for *every* registered driver on
+  every sweep — the cost of polling a rail you are not even using is the
+  multi-rail penalty of Fig 6.
+* :meth:`post_eager` — emit a packet wrapper via programmed I/O.  The
+  returned CPU cost (request post + the PIO copy itself) is charged to the
+  calling pump, which is how PIO "monopolizes the CPU".
+* :meth:`start_dma` — launch a rendezvous chunk as a bandwidth-sharing
+  flow across the I/O bus and NIC links.  Costs only the descriptor post
+  plus DMA setup; the transfer itself overlaps with everything.
+
+Concrete drivers (:mod:`repro.drivers.mx`, ``elan``, ``sisci``, ``tcp``)
+give each network API its personality via their default
+:class:`~repro.hardware.spec.RailSpec` and small behavioural overrides.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..core.packet import DmaChunk, PacketWrapper, Payload
+from ..util.errors import DriverError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.nic import NIC
+    from ..hardware.platform import Platform
+    from ..hardware.spec import RailSpec
+    from ..sim.flows import Flow
+
+__all__ = ["Driver"]
+
+
+class Driver:
+    """Base transmit-layer driver bound to one NIC of one node."""
+
+    #: short name of the low-level API this driver speaks.
+    api_name = "generic"
+
+    def __init__(self, platform: "Platform", rail_index: int, node_id: int):
+        self.platform = platform
+        self.rail_index = rail_index
+        self.node_id = node_id
+        self.spec: "RailSpec" = platform.spec.rails[rail_index]
+        self.nic: "NIC" = platform.nic(rail_index, node_id)
+        self.fabric = platform.fabric(rail_index)
+        self.sim = platform.sim
+        # statistics
+        self.polls = 0
+        self.eager_posted = 0
+        self.eager_bytes = 0
+        self.dma_started = 0
+        self.dma_bytes = 0
+        #: set by the owning engine; busy intervals are traced through it.
+        self.tracer = None
+
+    # ------------------------------------------------------------------ #
+    # capabilities
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def latency_us(self) -> float:
+        """One-way fabric latency (strategy ordering key: "fastest" rail)."""
+        return self.spec.lat_us
+
+    @property
+    def bandwidth_MBps(self) -> float:
+        return self.spec.bw_MBps
+
+    @property
+    def max_eager_bytes(self) -> int:
+        """Largest wrapper this driver sends via PIO (incl. headers)."""
+        return self.spec.eager_threshold
+
+    def eager_eligible(self, nbytes: int) -> bool:
+        """Can a segment of ``nbytes`` payload ride an eager packet?"""
+        return nbytes + self.spec.header_bytes <= self.spec.eager_threshold
+
+    @property
+    def dma_idle(self) -> bool:
+        return not self.nic.dma_busy
+
+    # ------------------------------------------------------------------ #
+    # progress
+    # ------------------------------------------------------------------ #
+    def poll(self) -> tuple[float, list[Any]]:
+        """One progress poll: ``(cpu_cost_us, arrived_packets)``."""
+        self.polls += 1
+        return self.spec.poll_cost_us, self.nic.drain_rx()
+
+    # ------------------------------------------------------------------ #
+    # eager (PIO) path
+    # ------------------------------------------------------------------ #
+    def wire_size(self, pw: PacketWrapper) -> int:
+        return pw.wire_size(self.spec.header_bytes, self.spec.ctrl_bytes)
+
+    def eager_cost_parts(self, pw: PacketWrapper) -> tuple[float, float]:
+        """``(post_cost, copy_cost)`` of emitting ``pw`` eagerly.
+
+        The descriptor post always runs on the pump; the PIO copy runs on
+        the pump too unless a parallel-PIO worker takes it (§4 future
+        work, see :meth:`repro.hardware.host.Host.try_claim_pio_worker`).
+        """
+        return self.spec.post_cost_us, self.wire_size(pw) / self.spec.pio_MBps
+
+    def eager_cost(self, pw: PacketWrapper) -> float:
+        """CPU cost of posting + PIO-copying ``pw`` (without sending)."""
+        post, copy = self.eager_cost_parts(pw)
+        return post + copy
+
+    def post_eager(self, pw: PacketWrapper, copy_offloaded: bool = False) -> float:
+        """Emit ``pw``; returns the CPU cost the pump must charge.
+
+        With ``copy_offloaded`` the PIO copy runs on a worker thread and
+        only the descriptor post is charged to the pump; the caller is
+        responsible for having claimed the worker and for completing the
+        embedded send requests at copy end.  Either way the packet
+        reaches the destination NIC one fabric latency after the copy
+        completes, and the NIC's eager TX path is busy until then.
+        """
+        size = self.wire_size(pw)
+        if size > self.spec.eager_threshold:
+            raise DriverError(
+                f"{self.name}: eager packet of {size}B exceeds threshold"
+                f" {self.spec.eager_threshold}"
+            )
+        if pw.rail_index != self.rail_index:
+            raise DriverError(
+                f"{self.name}: wrapper bound to rail {pw.rail_index},"
+                f" not {self.rail_index}"
+            )
+        now = self.sim.now
+        if self.nic.tx_busy_until > now:
+            raise DriverError(f"{self.name}: eager TX path busy")
+        post, copy = self.eager_cost_parts(pw)
+        self.eager_posted += 1
+        self.eager_bytes += size
+        self.nic.tx_eager_packets += 1
+        self.nic.tx_eager_bytes += size
+        self.nic.tx_busy_until = now + post + copy
+        self.fabric.transmit(self.node_id, pw.dst_node, pw, send_done_delay=post + copy)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(
+                now,
+                self.node_id,
+                "nic_busy",
+                f"pio {self.name} {size}B",
+                data={"rail": self.name, "kind": "pio", "start": now, "end": now + post + copy},
+            )
+        return post if copy_offloaded else post + copy
+
+    # ------------------------------------------------------------------ #
+    # bulk (DMA) path
+    # ------------------------------------------------------------------ #
+    def dma_post_cost(self) -> float:
+        """CPU cost of setting up one DMA chunk (registration + descriptor)."""
+        return self.spec.post_cost_us + self.spec.rdv_setup_us
+
+    def start_dma(
+        self,
+        dst_node: int,
+        req_id: int,
+        offset: int,
+        payload: Payload,
+        delay: float,
+        on_drain: Optional[Callable[["Flow"], None]] = None,
+    ) -> float:
+        """Launch one rendezvous chunk as a flow.
+
+        ``delay`` postpones the start (CPU costs of chunks posted earlier in
+        the same handler).  Returns this chunk's own CPU post cost.  On
+        completion the data lands at the destination NIC as a
+        :class:`~repro.core.packet.DmaChunk`.
+        """
+        if payload.size <= 0:
+            raise DriverError(f"{self.name}: empty DMA chunk")
+        cost = self.dma_post_cost()
+        wire_bytes = payload.size + self.spec.header_bytes
+        chunk = DmaChunk(req_id=req_id, src_node=self.node_id, offset=offset, payload=payload)
+        dst_nic = self.platform.nic(self.rail_index, dst_node)
+        path = self.platform.dma_path(self.rail_index, self.node_id, dst_node)
+        self.dma_started += 1
+        self.dma_bytes += payload.size
+        self.nic.tx_dma_transfers += 1
+        self.nic.tx_dma_bytes += payload.size
+
+        def launch() -> None:
+            start = self.sim.now
+
+            def drained(flow: "Flow") -> None:
+                if self.tracer is not None and self.tracer.enabled:
+                    self.tracer.record(
+                        self.sim.now,
+                        self.node_id,
+                        "nic_busy",
+                        f"dma {self.name} {payload.size}B",
+                        data={
+                            "rail": self.name,
+                            "kind": "dma",
+                            "start": start,
+                            "end": self.sim.now,
+                        },
+                    )
+                if on_drain is not None:
+                    on_drain(flow)
+
+            self.platform.flownet.start_flow(
+                path=path,
+                size=wire_bytes,
+                on_complete=lambda _f: dst_nic.deliver(chunk),
+                extra_latency=self.spec.lat_us,
+                tag=(self.name, req_id, offset),
+                on_drain=drained,
+            )
+
+        self.sim.schedule(delay + cost, launch)
+        return cost
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name} node={self.node_id}>"

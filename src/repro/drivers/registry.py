@@ -1,0 +1,63 @@
+"""Driver registry: RailSpec.driver name → driver class.
+
+New drivers register themselves via :func:`register_driver`; the session
+resolves every rail's driver at engine-build time through
+:func:`make_driver`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Type
+
+from ..util.errors import DriverError
+from .base import Driver
+from .elan import ElanDriver
+from .gm import GMDriver
+from .mx import MXDriver
+from .sisci import SisciDriver
+from .tcp import TCPDriver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.platform import Platform
+
+__all__ = ["register_driver", "driver_class", "make_driver", "available_drivers"]
+
+_REGISTRY: dict[str, Type[Driver]] = {}
+
+
+def register_driver(name: str, cls: Type[Driver], overwrite: bool = False) -> None:
+    """Register a driver class under ``name``."""
+    if not issubclass(cls, Driver):
+        raise DriverError(f"{cls!r} is not a Driver subclass")
+    if name in _REGISTRY and not overwrite:
+        raise DriverError(f"driver {name!r} already registered")
+    _REGISTRY[name] = cls
+
+
+def driver_class(name: str) -> Type[Driver]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DriverError(
+            f"unknown driver {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def make_driver(platform: "Platform", rail_index: int, node_id: int) -> Driver:
+    """Instantiate the right driver for a platform rail on one node."""
+    spec = platform.spec.rails[rail_index]
+    return driver_class(spec.driver)(platform, rail_index, node_id)
+
+
+def available_drivers() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+for _name, _cls in (
+    ("mx", MXDriver),
+    ("gm", GMDriver),
+    ("elan", ElanDriver),
+    ("sisci", SisciDriver),
+    ("tcp", TCPDriver),
+):
+    register_driver(_name, _cls)

@@ -1,0 +1,37 @@
+"""Hardware models: hosts, NICs, rails, fabrics, platform assembly."""
+
+from .host import Host
+from .nic import NIC
+from .platform import Platform
+from .presets import (
+    GIGE_TCP,
+    IB_DDR,
+    MYRI_10G,
+    PAPER_HOST,
+    PRESET_RAILS,
+    QUADRICS_QM500,
+    SCI_D33X,
+    paper_platform,
+    single_rail_platform,
+)
+from .spec import HostSpec, PlatformSpec, RailSpec
+from .wire import Fabric
+
+__all__ = [
+    "Host",
+    "NIC",
+    "Platform",
+    "Fabric",
+    "HostSpec",
+    "PlatformSpec",
+    "RailSpec",
+    "MYRI_10G",
+    "QUADRICS_QM500",
+    "SCI_D33X",
+    "GIGE_TCP",
+    "IB_DDR",
+    "PAPER_HOST",
+    "PRESET_RAILS",
+    "paper_platform",
+    "single_rail_platform",
+]

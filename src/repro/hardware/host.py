@@ -1,0 +1,80 @@
+"""Host (node) model: comm CPU, memory-copy engine, I/O bus.
+
+The paper's key host-side effect is that **PIO transfers monopolize the
+CPU** ("this technique ... monopolizes the CPU and prevents the overlapping
+of part of the message transfer with other computations").  In this model
+the engine's progress pump is a single simulated process per node, so any
+PIO copy it performs naturally serializes with every other pump action on
+the same node — including PIO sends on *other* NICs, which is exactly why
+greedy multi-rail balancing does not help below the eager threshold.
+
+The I/O bus is modelled as one capacitated :class:`~repro.sim.flows.Link`
+per direction, shared by all NICs of the node; DMA flows cross it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.engine import Simulator
+from ..sim.flows import Link
+from ..sim.process import Signal
+from .spec import HostSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .nic import NIC
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One cluster node."""
+
+    def __init__(self, sim: Simulator, node_id: int, spec: HostSpec):
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        #: I/O bus, one link per direction (DMA reads for TX, writes for RX).
+        self.bus_tx = Link(f"node{node_id}.bus.tx", spec.bus_MBps)
+        self.bus_rx = Link(f"node{node_id}.bus.rx", spec.bus_MBps)
+        #: Fired whenever something happened that may let the engine make
+        #: progress: a packet arrived on any local NIC, a local DMA drained,
+        #: or the application submitted a request.
+        self.activity = Signal(sim, name=f"node{node_id}.activity")
+        self.nics: list["NIC"] = []
+        #: busy-until times of the extra PIO threads (future-work mode).
+        self._pio_worker_busy = [0.0] * spec.pio_workers
+        self.pio_offloads = 0
+
+    def attach_nic(self, nic: "NIC") -> None:
+        self.nics.append(nic)
+
+    def memcpy_us(self, nbytes: int) -> float:
+        """CPU time to copy ``nbytes`` through host memory."""
+        return self.spec.memcpy_us(nbytes)
+
+    # -- parallel-PIO worker pool (the paper's §4 future work) -----------
+    @property
+    def has_pio_workers(self) -> bool:
+        return bool(self._pio_worker_busy)
+
+    def try_claim_pio_worker(self, start: float, duration: float) -> bool:
+        """Claim an extra PIO thread for ``[start, start+duration)``.
+
+        Returns False when every worker is still busy at ``start`` — the
+        caller then performs the copy on the pump itself (the paper's
+        single-threaded behaviour).
+        """
+        for i, busy_until in enumerate(self._pio_worker_busy):
+            if busy_until <= start:
+                self._pio_worker_busy[i] = start + duration
+                self.pio_offloads += 1
+                return True
+        return False
+
+    def wake(self) -> None:
+        """Fire the activity signal (idempotent if nobody is waiting)."""
+        self.activity.fire()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.node_id} nics={len(self.nics)}>"

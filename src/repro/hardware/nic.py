@@ -1,0 +1,105 @@
+"""NIC model: per-rail network interface card attached to a host.
+
+A NIC owns:
+
+* one full-duplex pair of :class:`~repro.sim.flows.Link`\\ s (``tx_link`` /
+  ``rx_link``) capped at the rail's DMA bandwidth — DMA flows cross them;
+* a receive queue drained by the driver's ``poll()``;
+* a send-side **DMA engine** flag: one outstanding bulk (rendezvous)
+  transmission at a time.  Eager/PIO sends do not use the DMA engine —
+  they occupy the host CPU instead (see :mod:`repro.hardware.host`).
+
+Separating "eager always possible (costs CPU)" from "one DMA in flight per
+NIC" mirrors NewMadeleine's track model: the small-packet track and the
+put/get track of Figure 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque
+
+from ..sim.engine import Simulator
+from ..sim.flows import Link
+from ..util.errors import DriverError
+from .spec import RailSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .host import Host
+
+__all__ = ["NIC"]
+
+
+class NIC:
+    """One network interface card."""
+
+    def __init__(self, sim: Simulator, host: "Host", rail: RailSpec, rail_index: int):
+        self.sim = sim
+        self.host = host
+        self.rail = rail
+        self.rail_index = rail_index
+        name = f"node{host.node_id}.{rail.name}"
+        self.name = name
+        self.tx_link = Link(f"{name}.tx", rail.bw_MBps)
+        self.rx_link = Link(f"{name}.rx", rail.bw_MBps)
+        self._rx_queue: Deque[Any] = deque()
+        self._dma_busy = False
+        #: simulated time until which the eager TX path is occupied by an
+        #: in-flight PIO copy.  Only binding when copies are offloaded to
+        #: a PIO worker; with the single-threaded pump the copy itself
+        #: blocks the engine, so the NIC can never be double-booked.
+        self.tx_busy_until = 0.0
+        # --- statistics -------------------------------------------------
+        self.rx_packets = 0
+        self.tx_eager_packets = 0
+        self.tx_eager_bytes = 0
+        self.tx_dma_transfers = 0
+        self.tx_dma_bytes = 0
+        host.attach_nic(self)
+
+    # -- receive side ----------------------------------------------------
+    def deliver(self, packet: Any) -> None:
+        """Called by the fabric/flow completion: a packet landed here."""
+        self._rx_queue.append(packet)
+        self.rx_packets += 1
+        self.host.wake()
+
+    def drain_rx(self) -> list[Any]:
+        """Remove and return all queued received packets (driver poll)."""
+        out = list(self._rx_queue)
+        self._rx_queue.clear()
+        return out
+
+    @property
+    def rx_pending(self) -> int:
+        return len(self._rx_queue)
+
+    # -- send-side DMA engine ---------------------------------------------
+    @property
+    def dma_busy(self) -> bool:
+        """True while a bulk transmission is in flight from this NIC."""
+        return self._dma_busy
+
+    def reserve_dma(self) -> None:
+        """Claim the DMA engine (from rendezvous commit until drain).
+
+        The engine is claimed as soon as a strategy commits a rendezvous
+        to this NIC — before the handshake completes — so that no second
+        large transfer is scheduled onto a rail that is already spoken for.
+        """
+        if self._dma_busy:
+            raise DriverError(f"{self.name}: DMA engine already busy")
+        self._dma_busy = True
+
+    def release_dma(self) -> None:
+        """Free the DMA engine (last byte drained, or rendezvous aborted)."""
+        if not self._dma_busy:
+            raise DriverError(f"{self.name}: releasing idle DMA engine")
+        self._dma_busy = False
+        # A freed DMA engine is a scheduling opportunity: wake the pump so
+        # the strategy is consulted again ("when some NICs become idle ...
+        # the optimizing scheduler is queried for some new packet").
+        self.host.wake()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NIC {self.name} rx={len(self._rx_queue)} dma_busy={self._dma_busy}>"

@@ -1,0 +1,87 @@
+"""Platform assembly: hosts × NICs × fabrics + the shared flow network.
+
+:class:`Platform` is the concrete simulated counterpart of a
+:class:`~repro.hardware.spec.PlatformSpec`.  The communication engine
+(:mod:`repro.core`) is built *on top of* a platform; the platform itself
+knows nothing about protocols or strategies.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Simulator
+from ..sim.flows import FlowNetwork, Link
+from ..util.errors import PlatformError
+from .host import Host
+from .nic import NIC
+from .spec import PlatformSpec
+from .wire import Fabric
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """The simulated cluster."""
+
+    def __init__(self, sim: Simulator, spec: PlatformSpec):
+        self.sim = sim
+        self.spec = spec
+        self.flownet = FlowNetwork(sim)
+        self.hosts: list[Host] = [
+            Host(sim, node_id, spec.host) for node_id in range(spec.n_nodes)
+        ]
+        # one NIC per (node, rail), then one fabric per rail
+        self._nics: list[list[NIC]] = []  # indexed [rail][node]
+        self.fabrics: list[Fabric] = []
+        for rail_index, rail in enumerate(spec.rails):
+            rail_nics = [NIC(sim, host, rail, rail_index) for host in self.hosts]
+            self._nics.append(rail_nics)
+            self.fabrics.append(Fabric(sim, rail, rail_nics))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    @property
+    def n_rails(self) -> int:
+        return self.spec.n_rails
+
+    def host(self, node_id: int) -> Host:
+        try:
+            return self.hosts[node_id]
+        except IndexError:
+            raise PlatformError(f"no node {node_id} (have {self.n_nodes})") from None
+
+    def nic(self, rail_index: int, node_id: int) -> NIC:
+        try:
+            return self._nics[rail_index][node_id]
+        except IndexError:
+            raise PlatformError(
+                f"no NIC for rail {rail_index}, node {node_id}"
+            ) from None
+
+    def fabric(self, rail_index: int) -> Fabric:
+        try:
+            return self.fabrics[rail_index]
+        except IndexError:
+            raise PlatformError(f"no rail {rail_index} (have {self.n_rails})") from None
+
+    def dma_path(self, rail_index: int, src_node: int, dst_node: int) -> list[Link]:
+        """The capacitated links a bulk transfer crosses.
+
+        src I/O bus (TX) → src NIC link → dst NIC link → dst I/O bus (RX).
+        The two NIC links have equal capacity; both are included so that
+        incast (two senders, one receiver NIC) is also modelled correctly.
+        """
+        src_nic = self.nic(rail_index, src_node)
+        dst_nic = self.nic(rail_index, dst_node)
+        return [
+            self.host(src_node).bus_tx,
+            src_nic.tx_link,
+            dst_nic.rx_link,
+            self.host(dst_node).bus_rx,
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        rails = ",".join(r.name for r in self.spec.rails)
+        return f"<Platform nodes={self.n_nodes} rails=[{rails}]>"

@@ -1,0 +1,189 @@
+"""Declarative hardware specifications.
+
+A :class:`PlatformSpec` describes the experimental platform of the paper's
+§3.1 — a set of nodes, each equipped with one NIC per *rail* (network), all
+NICs of a node sharing one I/O bus.  Specs are plain frozen dataclasses so
+they can be copied, tweaked (``dataclasses.replace``) for ablations, and
+round-tripped through dicts (:meth:`PlatformSpec.to_dict` /
+:meth:`PlatformSpec.from_dict`).
+
+The parameter semantics follow DESIGN.md §5:
+
+* ``lat_us`` — one-way fabric latency (wire + NIC pipeline), *excluding*
+  host-side per-packet costs;
+* ``bw_MBps`` — DMA (rendezvous) bandwidth cap of the NIC link;
+* ``pio_MBps`` — host→NIC programmed-I/O copy bandwidth (occupies the CPU);
+* ``eager_threshold`` — largest packet sent eagerly via PIO; anything
+  bigger goes through the rendezvous protocol and DMA;
+* ``poll_cost_us`` — CPU cost of one progress poll of this NIC, charged by
+  the engine's pump on every sweep (this is the Fig 6 penalty);
+* ``post_cost_us`` / ``handle_cost_us`` — per-packet host overhead on the
+  send / receive side;
+* ``rdv_setup_us`` — DMA setup (memory registration, descriptor ring) per
+  rendezvous transfer;
+* ``header_bytes`` — on-wire header per aggregated entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..util.errors import ConfigError
+
+__all__ = ["RailSpec", "HostSpec", "PlatformSpec"]
+
+
+@dataclass(frozen=True)
+class RailSpec:
+    """One network rail (a NIC model + its driver personality)."""
+
+    name: str
+    driver: str
+    lat_us: float
+    bw_MBps: float
+    pio_MBps: float
+    eager_threshold: int = 16384
+    poll_cost_us: float = 0.30
+    post_cost_us: float = 0.50
+    handle_cost_us: float = 0.45
+    #: receive-side demultiplexing cost per aggregated entry beyond the
+    #: first (unpacking an aggregate is cheap but not free).
+    entry_cost_us: float = 0.10
+    rdv_setup_us: float = 3.0
+    header_bytes: int = 16
+    ctrl_bytes: int = 32
+    #: drivers without true zero-copy receive (e.g. TCP) copy rendezvous
+    #: data once more on arrival at memcpy speed.
+    zero_copy_recv: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("rail name must be non-empty")
+        if self.lat_us < 0:
+            raise ConfigError(f"rail {self.name}: negative latency")
+        for attr in ("bw_MBps", "pio_MBps"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"rail {self.name}: {attr} must be positive")
+        if self.eager_threshold < 0:
+            raise ConfigError(f"rail {self.name}: negative eager threshold")
+        for attr in (
+            "poll_cost_us",
+            "post_cost_us",
+            "handle_cost_us",
+            "entry_cost_us",
+            "rdv_setup_us",
+        ):
+            if getattr(self, attr) < 0:
+                raise ConfigError(f"rail {self.name}: negative {attr}")
+        if self.header_bytes < 0 or self.ctrl_bytes <= 0:
+            raise ConfigError(f"rail {self.name}: bad header/ctrl sizes")
+
+    def replace(self, **changes: Any) -> "RailSpec":
+        """Return a copy with fields replaced (ablation helper)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RailSpec":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Host-side model shared by all rails of a node."""
+
+    #: memory-copy bandwidth (aggregation copies, unexpected-queue copies).
+    memcpy_MBps: float = 6000.0
+    #: effective I/O-bus capacity per direction, shared by all NICs of the
+    #: node.  The paper's motherboard is "theoretically able to support
+    #: data transfers up to approximately 2 GB/s"; 1850 MB/s effective.
+    bus_MBps: float = 1850.0
+    #: extra PIO threads beyond the engine pump.  The paper's engine is
+    #: single-threaded (0), which is why PIO transfers serialize; its
+    #: stated future work — "a multi-threaded implementation that will
+    #: process parallel PIO transfers on multiprocessor machines" (§4) —
+    #: corresponds to 1 on the dual-core Opteron testbed.
+    pio_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memcpy_MBps <= 0 or self.bus_MBps <= 0:
+            raise ConfigError("host bandwidths must be positive")
+        if self.pio_workers < 0:
+            raise ConfigError("pio_workers must be >= 0")
+
+    def replace(self, **changes: Any) -> "HostSpec":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HostSpec":
+        return cls(**dict(data))
+
+    def memcpy_us(self, nbytes: int) -> float:
+        """Time to copy ``nbytes`` through host memory."""
+        return nbytes / self.memcpy_MBps
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A cluster: ``n_nodes`` identical hosts wired by ``rails``."""
+
+    rails: tuple[RailSpec, ...]
+    n_nodes: int = 2
+    host: HostSpec = field(default_factory=HostSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ConfigError(f"need at least 2 nodes, got {self.n_nodes}")
+        if not self.rails:
+            raise ConfigError("platform needs at least one rail")
+        object.__setattr__(self, "rails", tuple(self.rails))
+        names = [r.name for r in self.rails]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate rail names: {names}")
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def n_rails(self) -> int:
+        return len(self.rails)
+
+    def rail_index(self, name: str) -> int:
+        for i, r in enumerate(self.rails):
+            if r.name == name:
+                return i
+        raise ConfigError(f"unknown rail {name!r}; have {[r.name for r in self.rails]}")
+
+    def __iter__(self) -> Iterator[RailSpec]:
+        return iter(self.rails)
+
+    def replace(self, **changes: Any) -> "PlatformSpec":
+        return dataclasses.replace(self, **changes)
+
+    def with_rails(self, rails: Sequence[RailSpec]) -> "PlatformSpec":
+        return dataclasses.replace(self, rails=tuple(rails))
+
+    def single_rail(self, name: str) -> "PlatformSpec":
+        """Restrict the platform to one rail (used by sampling and the
+        paper's single-network reference curves)."""
+        return self.with_rails([self.rails[self.rail_index(name)]])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_nodes": self.n_nodes,
+            "host": self.host.to_dict(),
+            "rails": [r.to_dict() for r in self.rails],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpec":
+        return cls(
+            rails=tuple(RailSpec.from_dict(r) for r in data["rails"]),
+            n_nodes=int(data.get("n_nodes", 2)),
+            host=HostSpec.from_dict(data.get("host", {})),
+        )

@@ -1,0 +1,57 @@
+"""Per-rail fabric: latency-only wiring between the NICs of one rail.
+
+Eager (PIO) packets are small; their wire occupancy is dominated by the
+PIO copy already charged to the sending CPU, so the fabric delivers them
+after the rail's one-way latency without a bandwidth term.  Bulk transfers
+go through the flow network instead (see
+:meth:`repro.drivers.base.Driver.start_dma`), which charges bandwidth on the
+NIC links and host buses and adds the same latency as ``extra_latency``.
+
+The fabric is a full crossbar: every node pair is connected on every rail
+(the paper's platform is two nodes; the general case costs nothing here).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..sim.engine import Simulator
+from ..util.errors import PlatformError
+from .spec import RailSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .nic import NIC
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """The switched network of one rail, connecting one NIC per node."""
+
+    def __init__(self, sim: Simulator, rail: RailSpec, nics: Sequence["NIC"]):
+        if len(nics) < 2:
+            raise PlatformError(f"rail {rail.name}: need NICs on >= 2 nodes")
+        self.sim = sim
+        self.rail = rail
+        self._nics = list(nics)
+        self.packets_carried = 0
+
+    def nic_of(self, node_id: int) -> "NIC":
+        try:
+            return self._nics[node_id]
+        except IndexError:
+            raise PlatformError(
+                f"rail {self.rail.name}: no NIC for node {node_id}"
+            ) from None
+
+    def transmit(self, src_node: int, dst_node: int, packet: Any, send_done_delay: float) -> None:
+        """Deliver ``packet`` to ``dst_node`` one latency after the sender
+        finishes emitting it (``send_done_delay`` from now)."""
+        if src_node == dst_node:
+            raise PlatformError(f"rail {self.rail.name}: self-send from node {src_node}")
+        dst = self.nic_of(dst_node)
+        self.packets_carried += 1
+        self.sim.schedule(send_done_delay + self.rail.lat_us, dst.deliver, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Fabric {self.rail.name} nodes={len(self._nics)}>"

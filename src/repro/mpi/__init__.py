@@ -1,0 +1,32 @@
+"""Mini message-passing layer (ranks, communicators, collectives)."""
+
+from .collectives import (
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    decode_value,
+    encode_value,
+    gather,
+    reduce,
+    scan,
+    scatter,
+)
+from ..core.matching import ANY_SOURCE
+from .comm import CommEndpoint, Communicator
+
+__all__ = [
+    "ANY_SOURCE",
+    "Communicator",
+    "CommEndpoint",
+    "barrier",
+    "bcast",
+    "gather",
+    "scatter",
+    "alltoall",
+    "reduce",
+    "allreduce",
+    "scan",
+    "encode_value",
+    "decode_value",
+]

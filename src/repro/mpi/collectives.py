@@ -1,0 +1,236 @@
+"""Point-to-point collective algorithms over :class:`CommEndpoint`.
+
+Classic algorithms, implemented as generator functions to ``yield from``
+inside a rank's process:
+
+* :func:`barrier` — dissemination barrier, ⌈log2 P⌉ rounds;
+* :func:`bcast` — binomial tree rooted anywhere;
+* :func:`gather` — linear gather to the root;
+* :func:`reduce` / :func:`allreduce` — binomial-tree reduce (+ bcast for
+  allreduce) over float values with an arbitrary associative operator.
+
+Scalar values travel as 8-byte IEEE doubles (:func:`encode_value`); byte
+payloads travel verbatim.  Collectives use reserved tags near the top of
+the user tag space so they never collide with application point-to-point
+traffic on the same communicator.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from ..core.packet import Payload
+from ..util.errors import ApiError
+from .comm import CommEndpoint, MAX_USER_TAG
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "gather",
+    "scatter",
+    "alltoall",
+    "reduce",
+    "allreduce",
+    "scan",
+    "encode_value",
+    "decode_value",
+]
+
+#: reserved collective tags (top of the user tag space).
+TAG_BARRIER = MAX_USER_TAG
+TAG_BCAST = MAX_USER_TAG - 1
+TAG_GATHER = MAX_USER_TAG - 2
+TAG_REDUCE = MAX_USER_TAG - 3
+TAG_SCATTER = MAX_USER_TAG - 4
+TAG_ALLTOALL = MAX_USER_TAG - 5
+TAG_SCAN = MAX_USER_TAG - 6
+
+
+def encode_value(value: float) -> bytes:
+    """Serialize a scalar for a reduction message (8-byte double)."""
+    return struct.pack("<d", float(value))
+
+
+def decode_value(payload: Payload) -> float:
+    if payload.data is None or len(payload.data) != 8:
+        raise ApiError(f"not a scalar reduction payload: {payload!r}")
+    return struct.unpack("<d", payload.data)[0]
+
+
+def barrier(ep: CommEndpoint):
+    """Dissemination barrier: ``yield from barrier(ep)``."""
+    size, rank = ep.size, ep.rank
+    if size == 1:
+        return
+    k = 1
+    while k < size:
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        if dst == src:
+            yield from ep.sendrecv(b"\x00", peer=dst, send_tag=TAG_BARRIER)
+        else:
+            yield from _xchg(ep, dst, src)
+        k *= 2
+
+
+def _xchg(ep: CommEndpoint, dst: int, src: int):
+    """Send a token to ``dst`` and await one from ``src`` (distinct peers)."""
+    from ..sim.process import AllOf
+
+    sreq = ep.isend(b"\x00", dst, TAG_BARRIER)
+    rreq = ep.irecv(src, TAG_BARRIER)
+    yield AllOf([sreq.completion, rreq.completion])
+
+
+def bcast(ep: CommEndpoint, data: Optional[bytes] = None, root: int = 0):
+    """Binomial-tree broadcast; returns the payload on every rank.
+
+    The root passes ``data``; other ranks pass None and receive it.
+    """
+    size = ep.size
+    vrank = (ep.rank - root) % size  # root becomes virtual rank 0
+    payload: Optional[Payload]
+    if vrank == 0:
+        if data is None:
+            raise ApiError("bcast root must provide data")
+        payload = Payload.of(data)
+    else:
+        # receive from the parent: clear the lowest set bit of vrank
+        parent = (vrank & (vrank - 1)) % size
+        payload = yield from ep.recv((parent + root) % size, TAG_BCAST)
+    # forward to children: set bits above our lowest set bit
+    k = 1
+    while k < size:
+        if vrank & (k - 1) == 0 and vrank | k != vrank:
+            child = vrank | k
+            if child < size:
+                assert payload is not None
+                yield from ep.send(payload, (child + root) % size, TAG_BCAST)
+        if vrank & k:
+            break
+        k *= 2
+    return payload
+
+
+def gather(ep: CommEndpoint, data: bytes, root: int = 0):
+    """Linear gather; the root returns ``{rank: payload}``, others None."""
+    if ep.rank == root:
+        out: dict[int, Payload] = {root: Payload.of(data)}
+        reqs = {
+            r: ep.irecv(r, TAG_GATHER) for r in range(ep.size) if r != root
+        }
+        for r, req in reqs.items():
+            yield req.completion
+            assert req.payload is not None
+            out[r] = req.payload
+        return out
+    yield from ep.send(data, root, TAG_GATHER)
+    return None
+
+
+def scatter(ep: CommEndpoint, data_per_rank=None, root: int = 0):
+    """Linear scatter; every rank returns its own payload.
+
+    The root passes a sequence with one entry per rank (its own entry is
+    returned locally); other ranks pass None.
+    """
+    if ep.rank == root:
+        if data_per_rank is None or len(data_per_rank) != ep.size:
+            raise ApiError(f"scatter root needs {ep.size} entries")
+        sends = [
+            ep.isend(data_per_rank[r], r, TAG_SCATTER)
+            for r in range(ep.size)
+            if r != root
+        ]
+        from ..sim.process import AllOf
+
+        if sends:
+            yield AllOf([s.completion for s in sends])
+        return Payload.of(data_per_rank[root])
+    payload = yield from ep.recv(root, TAG_SCATTER)
+    return payload
+
+
+def alltoall(ep: CommEndpoint, data_per_peer):
+    """Personalized all-to-all; returns ``{peer: payload}``.
+
+    ``data_per_peer`` is a sequence with one entry per rank; the entry at
+    the rank's own index is ignored.  Posts everything non-blocking, so
+    the engine is free to aggregate the small pieces and balance/split
+    the large ones.
+    """
+    if len(data_per_peer) != ep.size:
+        raise ApiError(f"alltoall needs {ep.size} entries, got {len(data_per_peer)}")
+    from ..sim.process import AllOf
+
+    sends = [
+        ep.isend(data_per_peer[peer], peer, TAG_ALLTOALL)
+        for peer in range(ep.size)
+        if peer != ep.rank
+    ]
+    recvs = {peer: ep.irecv(peer, TAG_ALLTOALL) for peer in range(ep.size) if peer != ep.rank}
+    waits = [s.completion for s in sends] + [r.completion for r in recvs.values()]
+    if waits:
+        yield AllOf(waits)
+    return {peer: req.payload for peer, req in recvs.items()}
+
+
+def scan(
+    ep: CommEndpoint,
+    value: float,
+    op: Callable[[float, float], float] = lambda a, b: a + b,
+):
+    """Inclusive prefix reduction along the rank chain.
+
+    Rank r returns ``op(v_0, ..., v_r)``.  Linear algorithm: each rank
+    waits for its predecessor's prefix, folds its own value in, and
+    forwards the result.
+    """
+    acc = float(value)
+    if ep.rank > 0:
+        payload = yield from ep.recv(ep.rank - 1, TAG_SCAN)
+        acc = op(decode_value(payload), acc)
+    if ep.rank + 1 < ep.size:
+        yield from ep.send(encode_value(acc), ep.rank + 1, TAG_SCAN)
+    return acc
+
+
+def reduce(
+    ep: CommEndpoint,
+    value: float,
+    op: Callable[[float, float], float] = lambda a, b: a + b,
+    root: int = 0,
+):
+    """Binomial-tree reduction of a scalar; the root returns the result."""
+    size = ep.size
+    vrank = (ep.rank - root) % size
+    acc = float(value)
+    k = 1
+    while k < size:
+        if vrank & k:
+            # send partial result to the parent and leave the tree
+            parent = vrank & ~k
+            yield from ep.send(encode_value(acc), (parent + root) % size, TAG_REDUCE)
+            return None
+        child = vrank | k
+        if child < size:
+            payload = yield from ep.recv((child + root) % size, TAG_REDUCE)
+            acc = op(acc, decode_value(payload))
+        k *= 2
+    return acc
+
+
+def allreduce(
+    ep: CommEndpoint,
+    value: float,
+    op: Callable[[float, float], float] = lambda a, b: a + b,
+):
+    """Reduce to rank 0 then broadcast the result; every rank returns it."""
+    partial = yield from reduce(ep, value, op, root=0)
+    if ep.rank == 0:
+        payload = yield from bcast(ep, encode_value(partial), root=0)
+    else:
+        payload = yield from bcast(ep, None, root=0)
+    assert payload is not None
+    return decode_value(payload)

@@ -1,0 +1,128 @@
+"""A small message-passing layer over the NewMadeleine core.
+
+The paper's short-term plan was to port MPICH-Madeleine onto the
+multi-rail engine (§4); this module is the reproduction's stand-in: ranks,
+communicators with isolated tag spaces, blocking generator helpers, and
+(in :mod:`repro.mpi.collectives`) tree/dissemination collectives.
+
+Because every communicator maps onto the *same* gates, segments from
+different communicators interleave in the engine's submission queues and
+can be aggregated into one physical packet — the paper's "data segments
+can be aggregated ... even if they belong to different logical channels
+(e.g. different MPI communicators)".
+
+Tag encoding: ``core_tag = (comm_id << TAG_BITS) | user_tag`` with 16 bits
+of user tag per communicator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..core.packet import Payload
+from ..core.request import RecvRequest, SendRequest
+from ..util.errors import ApiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.session import Session
+
+__all__ = ["Communicator", "CommEndpoint", "TAG_BITS", "MAX_USER_TAG"]
+
+TAG_BITS = 16
+MAX_USER_TAG = (1 << TAG_BITS) - 1
+
+_comm_ids = itertools.count(1)
+
+
+class Communicator:
+    """A rank space over all nodes of a session."""
+
+    def __init__(self, session: "Session", name: str = "world"):
+        self.session = session
+        self.name = name
+        self.comm_id = next(_comm_ids)
+        self._endpoints: dict[int, CommEndpoint] = {}
+
+    @property
+    def size(self) -> int:
+        return self.session.n_nodes
+
+    def endpoint(self, rank: int) -> "CommEndpoint":
+        """The per-rank handle used inside that rank's process."""
+        if not 0 <= rank < self.size:
+            raise ApiError(f"rank {rank} out of range [0,{self.size})")
+        ep = self._endpoints.get(rank)
+        if ep is None:
+            ep = self._endpoints[rank] = CommEndpoint(self, rank)
+        return ep
+
+    def dup(self, name: Optional[str] = None) -> "Communicator":
+        """A new communicator over the same nodes with a fresh tag space."""
+        return Communicator(self.session, name=name or f"{self.name}.dup")
+
+    def _core_tag(self, user_tag: int) -> int:
+        if not 0 <= user_tag <= MAX_USER_TAG:
+            raise ApiError(f"tag {user_tag} out of range [0,{MAX_USER_TAG}]")
+        return (self.comm_id << TAG_BITS) | user_tag
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Communicator {self.name} size={self.size}>"
+
+
+class CommEndpoint:
+    """One rank's view of a communicator."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = rank
+        self.iface = comm.session.interface(rank)
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- non-blocking ------------------------------------------------------
+    def isend(
+        self, data: Union[bytes, bytearray, int, Payload], dest: int, tag: int = 0
+    ) -> SendRequest:
+        if dest == self.rank:
+            raise ApiError("self-send is not supported")
+        return self.iface.isend(dest, self.comm._core_tag(tag), data)
+
+    def irecv(self, source: int, tag: int = 0) -> RecvRequest:
+        if source == self.rank:
+            raise ApiError("self-receive is not supported")
+        return self.iface.irecv(source, self.comm._core_tag(tag))
+
+    # -- blocking generator helpers (yield from inside a process) -----------
+    def send(self, data: Union[bytes, bytearray, int, Payload], dest: int, tag: int = 0):
+        """Blocking send: ``yield from ep.send(...)``."""
+        req = self.isend(data, dest, tag)
+        yield req.completion
+        return req
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive: ``payload = yield from ep.recv(...)``."""
+        req = self.irecv(source, tag)
+        yield req.completion
+        return req.payload
+
+    def sendrecv(
+        self,
+        data: Union[bytes, bytearray, int, Payload],
+        peer: int,
+        send_tag: int = 0,
+        recv_tag: Optional[int] = None,
+    ):
+        """Combined exchange with one peer; returns the received payload."""
+        from ..sim.process import AllOf
+
+        rtag = send_tag if recv_tag is None else recv_tag
+        sreq = self.isend(data, peer, send_tag)
+        rreq = self.irecv(peer, rtag)
+        yield AllOf([sreq.completion, rreq.completion])
+        return rreq.payload
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CommEndpoint rank={self.rank}/{self.size} comm={self.comm.name}>"

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel for the NewMadeleine reproduction.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — deterministic event loop (time in µs).
+* :mod:`~repro.sim.process` — generator processes, :class:`Signal`, combinators.
+* :mod:`~repro.sim.resources` — counted :class:`Resource` and FIFO :class:`Store`.
+* :mod:`~repro.sim.flows` — max-min fair flow-level bandwidth sharing.
+"""
+
+from .engine import EventHandle, ScheduleInPastError, SimulationError, Simulator
+from .flows import Flow, FlowError, FlowNetwork, Link, max_min_rates
+from .process import AllOf, AnyOf, Process, ProcessError, Signal, Timeout, spawn
+from .resources import Resource, ResourceError, Store
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimulationError",
+    "ScheduleInPastError",
+    "Timeout",
+    "Signal",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "ProcessError",
+    "spawn",
+    "Resource",
+    "Store",
+    "ResourceError",
+    "Link",
+    "Flow",
+    "FlowNetwork",
+    "FlowError",
+    "max_min_rates",
+]

@@ -1,0 +1,222 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction runs on simulated time: the NewMadeleine engine, the
+NIC models, the flow-level bandwidth sharing and the benchmark harness all
+schedule events on a single :class:`Simulator`.
+
+Design notes
+------------
+* Time is a ``float`` in **microseconds**.  With 1 MB/s == 1 B/us the
+  bandwidth constants of the paper can be used verbatim.
+* The event queue is a binary heap keyed by ``(time, seq)``.  The
+  monotonically increasing sequence number makes execution order fully
+  deterministic for simultaneous events (FIFO among equal timestamps),
+  which the test-suite relies on.
+* Events are cancelled lazily: :meth:`EventHandle.cancel` marks the handle
+  dead and the main loop skips dead entries when popping.  This keeps
+  cancellation O(1) at the cost of leaving tombstones in the heap, which is
+  the standard trade-off for simulators with frequent timer cancellation
+  (e.g. flow re-scheduling in :mod:`repro.sim.flows`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "EventHandle", "SimulationError", "ScheduleInPastError"]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class ScheduleInPastError(SimulationError):
+    """Raised when an event is scheduled strictly before the current time."""
+
+
+class EventHandle:
+    """Handle to a scheduled callback.
+
+    A handle supports cancellation and inspection.  Instances are created
+    by :meth:`Simulator.schedule` / :meth:`Simulator.at` only.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_alive", "_fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self._alive = True
+        self._fired = False
+
+    # ordering for heapq --------------------------------------------------
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    # public API -----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the event is pending (not fired, not cancelled)."""
+        return self._alive and not self._fired
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has been executed."""
+        return self._fired
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns ``True`` if the event was pending and is now cancelled,
+        ``False`` if it had already fired or was already cancelled.
+        Cancelling drops the callback reference so that captured state can
+        be garbage collected even though the tombstone stays in the heap.
+        """
+        if not self.alive:
+            return False
+        self._alive = False
+        self.fn = None
+        self.args = ()
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else ("pending" if self._alive else "cancelled")
+        return f"<EventHandle t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(5.0, out.append, "a")
+    >>> _ = sim.schedule(1.0, out.append, "b")
+    >>> sim.run()
+    >>> out
+    ['b', 'a']
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq: int = 0
+        self._running = False
+        self._events_executed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks executed so far (for diagnostics)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._heap if ev.alive)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_dead()
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` microseconds from now.
+
+        ``delay`` must be >= 0; a zero delay runs after all events already
+        queued at the current time (FIFO ordering).
+        """
+        if delay < 0:
+            raise ScheduleInPastError(f"negative delay {delay!r}")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ScheduleInPastError(
+                f"cannot schedule at {time!r}, current time is {self._now!r}"
+            )
+        self._seq += 1
+        ev = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and not heap[0]._alive:
+            heapq.heappop(heap)
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns False if none remain."""
+        self._drop_dead()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        ev._fired = True
+        fn, args = ev.fn, ev.args
+        ev.fn, ev.args = None, ()  # release references
+        self._events_executed += 1
+        assert fn is not None
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        When the loop stops because of ``until``, the clock is advanced to
+        ``until`` even if no event fired there.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                self._drop_dead()
+                if not self._heap:
+                    break
+                nxt = self._heap[0].time
+                if until is not None and nxt > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        """Run to queue exhaustion; guard against runaway loops."""
+        self.run(max_events=max_events)
+        self._drop_dead()
+        if self._heap:
+            raise SimulationError(
+                f"simulation did not converge within {max_events} events"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3f} pending={self.pending}>"

@@ -1,0 +1,304 @@
+"""Flow-level bandwidth sharing with max-min fairness.
+
+Large (DMA / rendezvous) transfers are not simulated packet by packet but as
+*flows*: a flow has a byte size and a path through capacitated links (the
+sending host's I/O bus, the NIC link, ...).  Whenever the set of active
+flows changes, the network recomputes a **max-min fair** rate allocation via
+progressive filling (water-filling) and reschedules each flow's completion
+event.
+
+This is the standard fluid model used by flow-level network simulators; it
+captures exactly the effect the paper attributes its aggregate-bandwidth
+ceiling to: two DMA streams (Myri-10G at 1200 MB/s and Quadrics at 850 MB/s)
+contending for one I/O bus of ~2 GB/s.
+
+Max-min fairness (progressive filling)
+--------------------------------------
+Repeatedly find the link whose *fair share* (residual capacity divided by
+the number of unfrozen flows crossing it) is smallest; freeze all its flows
+at that share; subtract their rates from every link they cross.  The result
+is the unique allocation in which no flow can increase its rate without
+decreasing the rate of a flow with an already-smaller-or-equal rate.
+
+Invariants (property-tested in ``tests/property/test_flows_prop.py``):
+
+* conservation — the sum of flow rates across any link never exceeds its
+  capacity (within float tolerance);
+* bottleneck condition — every flow crosses at least one saturated link on
+  which it has a maximal rate;
+* work conservation — a single flow on an otherwise idle path gets the
+  minimum capacity along its path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Iterable, Optional, Sequence
+
+from .engine import EventHandle, SimulationError, Simulator
+
+__all__ = ["Link", "Flow", "FlowNetwork", "FlowError", "max_min_rates"]
+
+_EPS = 1e-9
+
+
+class FlowError(SimulationError):
+    """Raised on flow-network misuse."""
+
+
+class Link:
+    """A capacitated, work-conserving link.
+
+    ``capacity`` is in bytes per microsecond, numerically equal to MB/s
+    (with 1 MB = 1e6 B).  Links carry no latency themselves; propagation
+    latency is accounted for by the caller (see
+    :meth:`FlowNetwork.start_flow`'s ``extra_latency``).
+    """
+
+    __slots__ = ("name", "capacity", "active_flows")
+
+    def __init__(self, name: str, capacity_MBps: float):
+        if capacity_MBps <= 0:
+            raise FlowError(f"link {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity_MBps)
+        self.active_flows: set["Flow"] = set()
+
+    @property
+    def utilization(self) -> float:
+        """Current fraction of capacity in use (0..1)."""
+        used = sum(f.rate for f in self.active_flows)
+        return used / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name} cap={self.capacity} active={len(self.active_flows)}>"
+
+
+class Flow:
+    """One in-flight bulk transfer."""
+
+    __slots__ = (
+        "fid",
+        "path",
+        "size",
+        "remaining",
+        "rate",
+        "on_complete",
+        "on_drain",
+        "start_time",
+        "last_update",
+        "_completion_ev",
+        "done",
+        "extra_latency",
+        "tag",
+    )
+
+    def __init__(
+        self,
+        fid: int,
+        path: Sequence[Link],
+        size: float,
+        on_complete: Optional[Callable[["Flow"], None]],
+        start_time: float,
+        extra_latency: float,
+        tag: object = None,
+        on_drain: Optional[Callable[["Flow"], None]] = None,
+    ):
+        self.fid = fid
+        self.path = tuple(path)
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.on_complete = on_complete
+        self.on_drain = on_drain
+        self.start_time = start_time
+        self.last_update = start_time
+        self._completion_ev: Optional[EventHandle] = None
+        self.done = False
+        self.extra_latency = extra_latency
+        self.tag = tag
+
+    @property
+    def transferred(self) -> float:
+        return self.size - self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Flow {self.fid} size={self.size:.0f} rem={self.remaining:.0f}"
+            f" rate={self.rate:.1f}>"
+        )
+
+
+def max_min_rates(
+    flows: Iterable[Flow], capacities: Optional[dict[Link, float]] = None
+) -> dict[Flow, float]:
+    """Compute the max-min fair allocation for ``flows``.
+
+    Pure function (no simulator state) so it can be property-tested in
+    isolation.  ``capacities`` optionally overrides link capacities.
+    """
+    flows = list(flows)
+    if not flows:
+        return {}
+    residual: dict[Link, float] = {}
+    counts: dict[Link, int] = {}
+    for f in flows:
+        if not f.path:
+            raise FlowError(f"flow {f.fid} has an empty path")
+        for link in f.path:
+            residual.setdefault(link, capacities[link] if capacities else link.capacity)
+            counts[link] = counts.get(link, 0) + 1
+
+    rates: dict[Flow, float] = {}
+    unfrozen = set(flows)
+    while unfrozen:
+        # Fair share of each link still crossed by unfrozen flows.
+        bottleneck: Optional[Link] = None
+        best_share = math.inf
+        for link, n in counts.items():
+            if n <= 0:
+                continue
+            share = residual[link] / n
+            if share < best_share - _EPS:
+                best_share = share
+                bottleneck = link
+        if bottleneck is None:  # pragma: no cover - defensive
+            raise FlowError("no bottleneck found with unfrozen flows remaining")
+        # Freeze every unfrozen flow crossing the bottleneck at best_share.
+        frozen_now = [f for f in unfrozen if bottleneck in f.path]
+        for f in frozen_now:
+            rates[f] = best_share
+            unfrozen.discard(f)
+            for link in f.path:
+                residual[link] = max(0.0, residual[link] - best_share)
+                counts[link] -= 1
+    return rates
+
+
+class FlowNetwork:
+    """Manages active flows and keeps their completion events consistent."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._flows: set[Flow] = set()
+        self._fid = itertools.count(1)
+        self.completed_count = 0
+        self.total_bytes_completed = 0.0
+
+    @property
+    def active_flows(self) -> frozenset[Flow]:
+        return frozenset(self._flows)
+
+    # ------------------------------------------------------------------ #
+    def start_flow(
+        self,
+        path: Sequence[Link],
+        size: float,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        extra_latency: float = 0.0,
+        tag: object = None,
+        on_drain: Optional[Callable[[Flow], None]] = None,
+    ) -> Flow:
+        """Begin a transfer of ``size`` bytes along ``path``.
+
+        ``on_drain(flow)`` fires when the last byte leaves the sending side
+        (the sender's DMA engine is free again); ``on_complete(flow)`` fires
+        ``extra_latency`` microseconds later (propagation to the far end).
+        Zero-size flows complete after ``extra_latency`` without occupying
+        the network.
+        """
+        if size < 0:
+            raise FlowError(f"negative flow size {size}")
+        flow = Flow(
+            next(self._fid),
+            path,
+            size,
+            on_complete,
+            self.sim.now,
+            extra_latency,
+            tag,
+            on_drain,
+        )
+        if size == 0:
+            if on_drain is not None:
+                self.sim.schedule(0.0, on_drain, flow)
+            self.sim.schedule(extra_latency, self._finish, flow)
+            return flow
+        self._flows.add(flow)
+        for link in flow.path:
+            link.active_flows.add(flow)
+        self._reallocate()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort a flow; its completion callback never fires."""
+        if flow.done or flow not in self._flows:
+            return
+        self._settle()
+        self._detach(flow)
+        flow.done = True
+        flow.on_complete = None
+        flow.on_drain = None
+        self._reallocate()
+
+    # ------------------------------------------------------------------ #
+    def _detach(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for link in flow.path:
+            link.active_flows.discard(flow)
+        if flow._completion_ev is not None:
+            flow._completion_ev.cancel()
+            flow._completion_ev = None
+
+    def _settle(self) -> None:
+        """Account for bytes moved at the current rates since last update."""
+        now = self.sim.now
+        for f in self._flows:
+            elapsed = now - f.last_update
+            if elapsed > 0:
+                f.remaining = max(0.0, f.remaining - f.rate * elapsed)
+            f.last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min rates and reschedule completions."""
+        self._settle()
+        rates = max_min_rates(self._flows)
+        for f in self._flows:
+            new_rate = rates.get(f, 0.0)
+            f.rate = new_rate
+            if f._completion_ev is not None:
+                f._completion_ev.cancel()
+                f._completion_ev = None
+            if new_rate <= _EPS:  # pragma: no cover - defensive
+                raise FlowError(f"flow {f.fid} allocated zero rate")
+            eta = f.remaining / new_rate
+            f._completion_ev = self.sim.schedule(eta, self._on_drain, f)
+
+    def _on_drain(self, flow: Flow) -> None:
+        """The flow's last byte has left; deliver after propagation."""
+        if flow.done or flow not in self._flows:
+            return
+        self._settle()
+        # Float guard: the event fired, so the flow is drained by design.
+        flow.remaining = 0.0
+        self._detach(flow)
+        if flow.on_drain is not None:
+            flow.on_drain(flow)
+        if flow.extra_latency > 0:
+            self.sim.schedule(flow.extra_latency, self._finish, flow)
+        else:
+            self._finish(flow)
+        # Remaining flows speed up.
+        if self._flows:
+            self._reallocate()
+
+    def _finish(self, flow: Flow) -> None:
+        flow.done = True
+        self.completed_count += 1
+        self.total_bytes_completed += flow.size
+        if flow.on_complete is not None:
+            flow.on_complete(flow)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FlowNetwork active={len(self._flows)} done={self.completed_count}>"

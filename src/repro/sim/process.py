@@ -1,0 +1,257 @@
+"""Generator-coroutine processes on top of the event kernel.
+
+The NewMadeleine progress pump, the benchmark drivers and several tests are
+written as *processes*: Python generators that ``yield`` waitable commands.
+
+Supported yield values
+----------------------
+``Timeout(dt)``
+    Suspend for ``dt`` microseconds of simulated time.
+``Signal``
+    Suspend until the signal is :meth:`Signal.fire`-d.  The value passed to
+    ``fire`` is returned by the ``yield`` expression.
+``Process``
+    Suspend until the child process terminates; its return value (via
+    ``return`` inside the generator) is returned by the ``yield``.
+``AllOf([waitables])`` / ``AnyOf([waitables])``
+    Barrier / first-completion combinators over signals and processes.
+
+This is deliberately a small subset of what e.g. SimPy provides: only what
+the engine needs, implemented deterministically and with explicit failure
+modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .engine import SimulationError, Simulator
+
+__all__ = [
+    "Timeout",
+    "Signal",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "ProcessError",
+    "spawn",
+]
+
+
+class ProcessError(SimulationError):
+    """Raised when a process is misused (e.g. bad yield value)."""
+
+
+class Timeout:
+    """Suspend the yielding process for ``dt`` simulated microseconds."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ProcessError(f"negative timeout {dt!r}")
+        self.dt = dt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.dt})"
+
+
+class Signal:
+    """A broadcast one-shot-per-fire wake-up condition.
+
+    Multiple processes (and plain callbacks) may wait on a signal; a call to
+    :meth:`fire` wakes *all* current waiters exactly once and clears the
+    waiter list.  Signals can be fired repeatedly; waiters registered after a
+    fire wait for the next one.  This matches the "NIC activity" wake-up
+    semantics the engine needs: late subscribers do not see past fires.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "fire_count")
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)`` to run on the next fire."""
+        self._waiters.append(callback)
+
+    def unwait(self, callback: Callable[[Any], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns the number of waiters woken.
+
+        Waiters run *immediately* (synchronously) in registration order.
+        The engine relies on this for precise accounting of wake-up costs.
+        """
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb(value)
+        return len(waiters)
+
+    def fire_later(self, delay: float, value: Any = None) -> None:
+        """Schedule a fire ``delay`` microseconds from now."""
+        self.sim.schedule(delay, self.fire, value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Signal {self.name} waiters={len(self._waiters)}>"
+
+
+class AllOf:
+    """Waitable combinator: resume when *all* children complete.
+
+    The yield expression evaluates to a list of child results in the order
+    the children were given.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Any]):
+        self.children = list(children)
+        if not self.children:
+            raise ProcessError("AllOf requires at least one child")
+
+
+class AnyOf:
+    """Waitable combinator: resume when the *first* child completes.
+
+    The yield expression evaluates to ``(index, value)`` of the first child
+    to complete.  Remaining waits are abandoned (signals simply lose a
+    waiter; child processes keep running but no longer notify).
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Any]):
+        self.children = list(children)
+        if not self.children:
+            raise ProcessError("AnyOf requires at least one child")
+
+
+class Process:
+    """A running generator process.
+
+    Create via :func:`spawn`.  The generator's ``return`` value becomes
+    :attr:`value`; uncaught exceptions are re-raised out of the simulator
+    loop (they are programming errors, not simulated failures).
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_done", "value", "_watchers", "_started")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._done = False
+        self.value: Any = None
+        self._watchers: list[Callable[[Any], None]] = []
+        self._started = False
+
+    # -- public ----------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def on_done(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(return_value)`` when the process terminates."""
+        if self._done:
+            callback(self.value)
+        else:
+            self._watchers.append(callback)
+
+    # -- machinery ---------------------------------------------------------
+    def _start(self) -> None:
+        if self._started:
+            raise ProcessError(f"process {self.name} started twice")
+        self._started = True
+        self._advance(None)
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._arm(yielded, self._advance)
+
+    def _arm(self, yielded: Any, resume: Callable[[Any], None]) -> None:
+        """Register ``resume`` to be called when ``yielded`` completes."""
+        if isinstance(yielded, Timeout):
+            self.sim.schedule(yielded.dt, resume, None)
+        elif isinstance(yielded, Signal):
+            yielded.wait(resume)
+        elif isinstance(yielded, Process):
+            yielded.on_done(resume)
+        elif isinstance(yielded, AllOf):
+            self._arm_all(yielded, resume)
+        elif isinstance(yielded, AnyOf):
+            self._arm_any(yielded, resume)
+        else:
+            raise ProcessError(
+                f"process {self.name} yielded unsupported value {yielded!r}"
+            )
+
+    def _arm_all(self, allof: AllOf, resume: Callable[[Any], None]) -> None:
+        results: list[Any] = [None] * len(allof.children)
+        remaining = [len(allof.children)]
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                results[i] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    resume(results)
+
+            return cb
+
+        for i, child in enumerate(allof.children):
+            self._arm(child, make_cb(i))
+
+    def _arm_any(self, anyof: AnyOf, resume: Callable[[Any], None]) -> None:
+        fired = [False]
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                if fired[0]:
+                    return
+                fired[0] = True
+                resume((i, value))
+
+            return cb
+
+        for i, child in enumerate(anyof.children):
+            self._arm(child, make_cb(i))
+
+    def _finish(self, value: Any) -> None:
+        self._done = True
+        self.value = value
+        watchers, self._watchers = self._watchers, []
+        for cb in watchers:
+            cb(value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self._done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(sim: Simulator, gen: Generator, name: str = "proc", delay: float = 0.0) -> Process:
+    """Create a :class:`Process` from a generator and start it.
+
+    The first step of the generator runs ``delay`` microseconds from now
+    (default: at the current time, after already-queued events).
+    """
+    proc = Process(sim, gen, name=name)
+    sim.schedule(delay, proc._start)
+    return proc

@@ -1,0 +1,135 @@
+"""Counted resources and FIFO stores for simulated processes.
+
+The communication engine itself is event-driven, but the hardware models use
+these primitives: e.g. a node's comm CPU is a :class:`Resource` of capacity 1
+(PIO transfers serialize on it), and driver mailboxes are :class:`Store`\\ s.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .engine import SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "ResourceError"]
+
+
+class ResourceError(SimulationError):
+    """Raised on resource misuse (e.g. releasing an unheld resource)."""
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    Callback style: ``acquire(cb)`` runs ``cb()`` immediately if a slot is
+    free, otherwise queues the request.  ``release()`` hands the slot to the
+    next queued requester synchronously.
+    """
+
+    __slots__ = ("sim", "name", "capacity", "_in_use", "_queue")
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: Deque[Callable[[], None]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def acquire(self, callback: Callable[[], None]) -> None:
+        """Request a slot; ``callback`` runs when granted (maybe now)."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            callback()
+        else:
+            self._queue.append(callback)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Release a held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise ResourceError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            # Hand the slot over directly; _in_use stays constant.
+            cb = self._queue.popleft()
+            cb()
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Resource {self.name} {self._in_use}/{self.capacity}"
+            f" queued={len(self._queue)}>"
+        )
+
+
+class Store:
+    """An unbounded FIFO channel between producers and consumers.
+
+    ``get`` requests are served in order; if items are available a get
+    completes immediately, otherwise the consumer callback is queued until a
+    ``put`` arrives.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Callable[[Any], None]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, handing it to the oldest waiting getter if any."""
+        if self._getters:
+            cb = self._getters.popleft()
+            cb(item)
+        else:
+            self._items.append(item)
+
+    def get(self, callback: Callable[[Any], None]) -> None:
+        """Request an item; ``callback(item)`` runs when one is available."""
+        if self._items:
+            callback(self._items.popleft())
+        else:
+            self._getters.append(callback)
+
+    def try_get(self) -> tuple[bool, Optional[Any]]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def peek(self) -> Optional[Any]:
+        """Oldest item without removing it, or None."""
+        return self._items[0] if self._items else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Store {self.name} items={len(self._items)} getters={len(self._getters)}>"

@@ -1,0 +1,15 @@
+"""Observability: counters, structured event tracing, usage summaries."""
+
+from .timeline import busy_intervals, commit_timeline, gantt, rail_byte_shares, rail_usage_table
+from .tracer import Counters, TraceEvent, Tracer
+
+__all__ = [
+    "Counters",
+    "Tracer",
+    "TraceEvent",
+    "rail_usage_table",
+    "rail_byte_shares",
+    "commit_timeline",
+    "gantt",
+    "busy_intervals",
+]

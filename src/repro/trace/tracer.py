@@ -1,0 +1,94 @@
+"""Counters and structured event tracing.
+
+Every node engine owns a :class:`Counters` (always on — plain integer
+adds) and shares the session's :class:`Tracer` (off by default — recording
+every pump action of a bandwidth sweep would be large).  The figure
+runners read counters to report e.g. how many packets were aggregated or
+how bytes split across rails; tests use them to assert mechanisms ("the
+greedy run really used both NICs").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["Counters", "Tracer", "TraceEvent"]
+
+
+class Counters:
+    """A tiny named-counter bag."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy (stable for asserting / diffing)."""
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Return a new Counters with both contributions summed."""
+        out = Counters()
+        for src in (self, other):
+            for k, v in src._values.items():
+                out._values[k] += v
+        return out
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counters({dict(sorted(self._values.items()))})"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded engine action.
+
+    ``data`` optionally carries machine-readable fields (e.g. the busy
+    interval of a NIC) so analysis code never parses ``detail`` strings.
+    """
+
+    time_us: float
+    node: int
+    category: str
+    detail: str
+    data: Optional[dict] = None
+
+
+class Tracer:
+    """Optional structured event log shared by all engines of a session."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self,
+        time_us: float,
+        node: int,
+        category: str,
+        detail: str,
+        data: Optional[dict] = None,
+    ) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time_us, node, category, detail, data))
+
+    def by_category(self, category: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def by_node(self, node: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.node == node]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

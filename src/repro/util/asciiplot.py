@@ -1,0 +1,153 @@
+"""Terminal line plots — the paper's figures, rendered as text.
+
+The paper's evaluation plots are log-log curves (size on x, latency or
+bandwidth on y).  :class:`AsciiPlot` renders several series onto a
+character grid with one marker per series, y-axis tick labels and
+size-formatted x ticks, so ``examples/reproduce_figures.py --plot`` and
+the benchmark reports can show curve *shapes* without any plotting
+dependency::
+
+    bandwidth (MB/s)
+    1753.6 |                                          +  +  +
+           |                                    +  x  x  x  x
+     ...   |        o  o  o
+           +---------------------------------------------------
+            32K       128K      512K      2M        8M
+    o = one rail   x = iso-split   + = hetero-split
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from .errors import ConfigError
+from .units import format_size
+
+__all__ = ["AsciiPlot"]
+
+_MARKERS = "ox+*#@%8&$"
+
+
+class AsciiPlot:
+    """A multi-series scatter/line plot on a character grid."""
+
+    def __init__(
+        self,
+        width: int = 64,
+        height: int = 16,
+        x_log: bool = True,
+        y_log: bool = False,
+        title: Optional[str] = None,
+        y_label: str = "",
+        x_is_size: bool = True,
+    ):
+        if width < 16 or height < 4:
+            raise ConfigError(f"plot too small: {width}x{height}")
+        self.width = width
+        self.height = height
+        self.x_log = x_log
+        self.y_log = y_log
+        self.title = title
+        self.y_label = y_label
+        self.x_is_size = x_is_size
+        self._series: list[tuple[str, list[tuple[float, float]], str]] = []
+
+    # ------------------------------------------------------------------ #
+    def add_series(
+        self,
+        label: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        marker: Optional[str] = None,
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ConfigError(f"series {label!r}: {len(xs)} xs vs {len(ys)} ys")
+        points = [(float(x), float(y)) for x, y in zip(xs, ys) if y is not None]
+        if not points:
+            raise ConfigError(f"series {label!r} has no points")
+        if marker is None:
+            marker = _MARKERS[len(self._series) % len(_MARKERS)]
+        self._series.append((label, points, marker[0]))
+
+    # ------------------------------------------------------------------ #
+    def _transform(self, value: float, log: bool) -> float:
+        if log:
+            if value <= 0:
+                raise ConfigError(f"log axis with non-positive value {value}")
+            return math.log10(value)
+        return value
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [self._transform(x, self.x_log) for _, pts, _ in self._series for x, _ in pts]
+        ys = [self._transform(y, self.y_log) for _, pts, _ in self._series for _, y in pts]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        if x1 - x0 < 1e-12:
+            x0, x1 = x0 - 0.5, x1 + 0.5
+        if y1 - y0 < 1e-12:
+            y0, y1 = y0 - 0.5, y1 + 0.5
+        return x0, x1, y0, y1
+
+    def render(self) -> str:
+        """Render the plot; raises if no series were added."""
+        if not self._series:
+            raise ConfigError("nothing to plot")
+        x0, x1, y0, y1 = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def col_of(x: float) -> int:
+            t = (self._transform(x, self.x_log) - x0) / (x1 - x0)
+            return min(self.width - 1, max(0, round(t * (self.width - 1))))
+
+        def row_of(y: float) -> int:
+            t = (self._transform(y, self.y_log) - y0) / (y1 - y0)
+            return min(self.height - 1, max(0, round((1.0 - t) * (self.height - 1))))
+
+        for _label, points, marker in self._series:
+            for x, y in points:
+                grid[row_of(y)][col_of(x)] = marker
+
+        # y tick labels on ~4 rows
+        def y_value_at_row(row: int) -> float:
+            t = 1.0 - row / (self.height - 1)
+            v = y0 + t * (y1 - y0)
+            return 10.0**v if self.y_log else v
+
+        label_rows = {0, self.height // 3, 2 * self.height // 3, self.height - 1}
+        gutter = max(
+            len(f"{y_value_at_row(r):.1f}") for r in label_rows
+        )
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        if self.y_label:
+            lines.append(" " * (gutter + 2) + self.y_label)
+        for r in range(self.height):
+            prefix = (
+                f"{y_value_at_row(r):>{gutter}.1f} |" if r in label_rows else " " * gutter + " |"
+            )
+            lines.append(prefix + "".join(grid[r]).rstrip())
+        lines.append(" " * gutter + " +" + "-" * self.width)
+        # x ticks: 5 positions (size axes snap to the nearest power of 2)
+        tick_cols = [round(i * (self.width - 1) / 4) for i in range(5)]
+        tick_line = [" "] * (self.width + gutter + 8)
+        for c in tick_cols:
+            tx = x0 + (x1 - x0) * c / (self.width - 1)
+            value = 10.0**tx if self.x_log else tx
+            if self.x_is_size:
+                snapped = 2 ** max(0, round(math.log2(max(value, 1.0))))
+                text = format_size(snapped)
+            else:
+                text = f"{value:.0f}"
+            start = gutter + 2 + c
+            for i, ch in enumerate(text):
+                if start + i < len(tick_line):
+                    tick_line[start + i] = ch
+        lines.append("".join(tick_line).rstrip())
+        legend = "   ".join(f"{marker} = {label}" for label, _pts, marker in self._series)
+        lines.append(legend)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by the whole library.
+
+Simulation-kernel errors derive from :class:`repro.sim.SimulationError`;
+everything above the kernel derives from :class:`ReproError` so callers can
+catch library failures with a single ``except``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "PlatformError",
+    "DriverError",
+    "ProtocolError",
+    "MatchingError",
+    "StrategyError",
+    "ApiError",
+    "BenchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised above the simulation kernel."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value or inconsistent specification."""
+
+
+class PlatformError(ReproError):
+    """Invalid platform topology (nodes, rails, wiring)."""
+
+
+class DriverError(ReproError):
+    """Transmit-layer (driver) misuse: bad track, busy post, unknown rail."""
+
+
+class ProtocolError(ReproError):
+    """Wire-protocol violation: bad header, duplicate rendezvous, etc."""
+
+
+class MatchingError(ReproError):
+    """Tag-matching layer failure (duplicate sequence, impossible match)."""
+
+
+class StrategyError(ReproError):
+    """Optimizing-scheduler (strategy) misuse or invariant violation."""
+
+
+class ApiError(ReproError):
+    """Collect-layer (public API) misuse: e.g. pack after end_pack."""
+
+
+class BenchError(ReproError):
+    """Benchmark-harness misuse or non-convergent measurement."""

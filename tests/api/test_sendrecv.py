@@ -1,0 +1,115 @@
+"""Behaviour tests for the collect-layer send/receive API."""
+
+import pytest
+
+from repro import Session, available_strategies
+from repro.sim.process import AllOf
+from repro.util.errors import ApiError
+from repro.util.units import MB
+
+
+def exchange(session, data, tag=1):
+    """Round-trip one payload 0 -> 1 and return what node 1 received."""
+    recv = session.interface(1).irecv(0, tag)
+    session.interface(0).isend(1, tag, data)
+    session.run_until_idle()
+    assert recv.done
+    return recv
+
+
+@pytest.mark.parametrize("strategy", ["single_rail", "aggreg", "greedy", "aggreg_multirail", "split_balance"])
+def test_bytes_roundtrip_under_every_strategy(plat2, strategy):
+    session = Session(plat2, strategy=strategy)
+    recv = exchange(session, b"the quick brown fox")
+    assert recv.data == b"the quick brown fox"
+
+
+def test_virtual_payload_roundtrips_size(plat2):
+    session = Session(plat2)
+    recv = exchange(session, 12345)
+    assert recv.payload.is_virtual and recv.payload.size == 12345
+
+
+def test_large_payload_roundtrip(plat2):
+    session = Session(plat2, strategy="greedy")
+    data = bytes(range(256)) * 4096  # 1 MB patterned
+    recv = exchange(session, data)
+    assert recv.data == data
+
+
+def test_tags_are_independent_channels(plat2):
+    session = Session(plat2)
+    a, b = session.interface(0), session.interface(1)
+    r5 = b.irecv(0, 5)
+    r9 = b.irecv(0, 9)
+    a.isend(1, 9, b"nine")
+    a.isend(1, 5, b"five")
+    session.run_until_idle()
+    assert r5.data == b"five" and r9.data == b"nine"
+
+
+def test_fifo_within_one_tag(plat2):
+    session = Session(plat2)
+    a, b = session.interface(0), session.interface(1)
+    recvs = [b.irecv(0, 1) for _ in range(3)]
+    for i in range(3):
+        a.isend(1, 1, bytes([i]))
+    session.run_until_idle()
+    assert [r.data for r in recvs] == [b"\x00", b"\x01", b"\x02"]
+
+
+def test_negative_tag_rejected(plat2):
+    session = Session(plat2)
+    with pytest.raises(ApiError):
+        session.interface(0).isend(1, -1, b"x")
+    with pytest.raises(ApiError):
+        session.interface(0).irecv(1, -2)
+
+
+def test_send_msg_recv_msg(plat2):
+    session = Session(plat2, strategy="aggreg_multirail")
+    a, b = session.interface(0), session.interface(1)
+    incoming = b.recv_msg(0, 4, n_segments=3)
+    outgoing = a.send_msg(1, 4, [b"one", b"two", b"three"])
+    session.run_until_idle()
+    assert incoming.done and outgoing.done
+    assert [r.data for r in incoming] == [b"one", b"two", b"three"]
+
+
+def test_empty_message_rejected(plat2):
+    session = Session(plat2)
+    with pytest.raises(ApiError):
+        session.interface(0).send_msg(1, 1, [])
+    with pytest.raises(ApiError):
+        session.interface(1).recv_msg(0, 1, 0)
+
+
+def test_bidirectional_simultaneous_traffic(plat2):
+    session = Session(plat2, strategy="split_balance")
+    a, b = session.interface(0), session.interface(1)
+    done = {}
+
+    def left():
+        s = a.isend(1, 1, b"L" * 100_000)
+        r = a.irecv(1, 1)
+        yield AllOf([s.completion, r.completion])
+        done["left"] = r.data
+
+    def right():
+        s = b.isend(0, 1, b"R" * 100_000)
+        r = b.irecv(0, 1)
+        yield AllOf([s.completion, r.completion])
+        done["right"] = r.data
+
+    session.spawn(left())
+    session.spawn(right())
+    session.run_until_idle()
+    assert done["left"] == b"R" * 100_000
+    assert done["right"] == b"L" * 100_000
+
+
+def test_interface_properties(plat2):
+    session = Session(plat2)
+    iface = session.interface(1)
+    assert iface.node_id == 1
+    assert iface.sim is session.sim

@@ -1,0 +1,50 @@
+"""Fast structural tests of the ablation tables (small grids).
+
+The full-size ablations with mechanism assertions run in
+``benchmarks/bench_ablations.py``.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_bus_capacity,
+    ablation_eager_threshold,
+    ablation_poll_cost,
+    ablation_split_ratio,
+    ablation_window,
+)
+from repro.util.units import KB, MB
+
+
+def test_poll_cost_table_small():
+    table = ablation_poll_cost(poll_costs_us=(0.0, 1.0), reps=1)
+    assert len(table.rows) == 2
+    gaps = table.column("gap (us)")
+    assert gaps[1] > gaps[0]
+
+
+def test_eager_threshold_table_small():
+    table = ablation_eager_threshold(
+        thresholds=(8 * KB, 128 * KB), sizes=(64 * KB,), reps=1
+    )
+    assert table.column("eager threshold") == ["8K", "128K"]
+    col = table.column("greedy/best @64K")
+    assert col[0] > col[1]
+
+
+def test_bus_capacity_table_small(samples):
+    table = ablation_bus_capacity(capacities_MBps=(1000, 2500), size=1 * MB, reps=1, samples=samples)
+    bw = table.column("hetero-split bw (MB/s)")
+    assert bw[1] > bw[0]
+
+
+def test_window_table_small():
+    table = ablation_window(gaps_us=(0.0, 50.0), size=512, segments=4, reps=1)
+    aggregated = table.column("aggregated pkts")
+    assert aggregated[0] > aggregated[1] == 0
+
+
+def test_split_ratio_table_small(samples):
+    table = ablation_split_ratio(ratios=(0.3, 0.585), size=1 * MB, reps=1, samples=samples)
+    bws = table.column("bandwidth (MB/s)")
+    assert bws[1] > bws[0]  # sampled-optimal ratio beats a bad one

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ABLATIONS, build_parser, main
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "split_balance" in out
+    assert "myri10g" in out
+
+
+def test_pingpong_command(capsys):
+    assert main(["pingpong", "--size", "64K", "--segments", "2", "--strategy", "greedy", "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "one-way" in out and "MB/s" in out
+
+
+def test_pingpong_with_pio_workers(capsys):
+    assert main(
+        ["pingpong", "--size", "8K", "--segments", "2", "--strategy", "greedy", "--pio-workers", "1", "--reps", "2"]
+    ) == 0
+    assert "MB/s" in capsys.readouterr().out
+
+
+def test_pingpong_pinned_rail(capsys):
+    assert main(
+        ["pingpong", "--size", "1K", "--strategy", "single_rail", "--rail", "qsnet2", "--reps", "2"]
+    ) == 0
+
+
+def test_figures_subset(capsys, tmp_path):
+    assert main(["figures", "fig4b", "--reps", "1", "--out", str(tmp_path), "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4b" in out
+    assert "dynamically balanced" in out
+    assert (tmp_path / "fig4b.txt").exists()
+    assert (tmp_path / "fig4b.csv").exists()
+
+
+def test_figures_unknown_id(capsys):
+    assert main(["figures", "fig42"]) == 2
+    assert "unknown figures" in capsys.readouterr().err
+
+
+def test_ablations_subset(capsys):
+    assert main(["ablations", "window"]) == 0
+    assert "optimization window" in capsys.readouterr().out
+
+
+def test_ablations_unknown(capsys):
+    assert main(["ablations", "quantum"]) == 2
+
+
+def test_ablations_registry_matches_module():
+    from repro.bench import ablations as mod
+
+    for name, fn in ABLATIONS.items():
+        assert fn is getattr(mod, f"ablation_{name}")
+
+
+def test_sample_command(capsys):
+    assert main(["sample"]) == 0
+    out = capsys.readouterr().out
+    assert "stripping ratios" in out
+    assert "myri10g" in out
+
+
+def test_custom_platform_file(capsys, tmp_path):
+    from repro.hardware.presets import paper_platform
+    from repro.util.config import platform_to_json
+
+    path = tmp_path / "plat.json"
+    platform_to_json(paper_platform(), str(path))
+    assert main(["--platform", str(path), "pingpong", "--size", "1K", "--strategy", "greedy", "--reps", "1"]) == 0
+
+
+def test_flood_command(capsys):
+    assert main(["flood", "--size", "64K", "--count", "8", "--window", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "flood" in out and "MB/s" in out and "msgs/ms" in out
+
+
+def test_extensions_subset(capsys):
+    assert main(["extensions", "parallel_pio_latency"]) == 0
+    assert "parallel PIO" in capsys.readouterr().out
+
+
+def test_extensions_unknown(capsys):
+    assert main(["extensions", "warp_drive"]) == 2

@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md generator and the paper-claim registry."""
+
+import pytest
+
+from repro.bench import FIGURES
+from repro.bench.experiments import PAPER_CLAIMS, run_experiments, write_experiments_md
+
+
+def test_every_claim_references_a_known_figure():
+    for claim in PAPER_CLAIMS:
+        assert claim.figure_id in FIGURES
+
+
+def test_all_evaluation_figures_have_claims():
+    """Every figure with a quantitative statement in the paper is covered."""
+    covered = {c.figure_id for c in PAPER_CLAIMS}
+    assert {"fig2a", "fig2b", "fig3a", "fig3b", "fig4b", "fig5b", "fig6", "fig7"} <= covered
+
+
+@pytest.fixture(scope="module")
+def experiments(samples_module):
+    return run_experiments(reps=2, samples=samples_module)
+
+
+@pytest.fixture(scope="module")
+def samples_module():
+    from repro import paper_platform, sample_rails
+
+    return sample_rails(paper_platform())
+
+
+def test_all_claims_reproduce(experiments):
+    """The headline acceptance test: every paper claim holds in the sim."""
+    _results, outcomes = experiments
+    failing = [(o.claim.statement, o.measured) for o in outcomes if not o.ok]
+    assert not failing, f"claims not reproduced: {failing}"
+
+
+def test_results_cover_all_figures(experiments):
+    results, _ = experiments
+    assert set(results) == set(FIGURES)
+
+
+def test_write_experiments_md(tmp_path, samples_module):
+    path = tmp_path / "EXPERIMENTS.md"
+    outcomes = write_experiments_md(
+        str(path), reps=1, samples=samples_module, include_ablations=False
+    )
+    text = path.read_text()
+    assert text.startswith("# EXPERIMENTS")
+    assert "| Figure | Paper claim |" in text
+    assert "fig7" in text
+    assert "stripping ratios" in text
+    assert len(outcomes) == len(PAPER_CLAIMS)

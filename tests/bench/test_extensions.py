@@ -1,0 +1,28 @@
+"""Fast structural tests of the extension experiments (small grids)."""
+
+from repro.bench.extensions import (
+    ext_heterogeneous_mix,
+    ext_parallel_pio_latency,
+    ext_rail_scaling,
+)
+from repro.util.units import KB, MB
+
+
+def test_rail_scaling_structure():
+    table = ext_rail_scaling(size=1 * MB, reps=1)
+    assert len(table.rows) == 3
+    bw = table.column("split_balance bw (MB/s)")
+    assert bw[1] > bw[0]
+
+
+def test_heterogeneous_mix_structure():
+    table = ext_heterogeneous_mix(sizes=(4 * MB,), reps=1)
+    assert len(table.rows) == 1
+    assert table.column("gain")[0] > 1.0
+
+
+def test_parallel_pio_latency_structure():
+    table = ext_parallel_pio_latency(sizes=(8 * KB,), reps=1)
+    g1 = table.column("greedy 1-thread (us)")[0]
+    g2 = table.column("greedy 2-thread (us)")[0]
+    assert g2 < g1

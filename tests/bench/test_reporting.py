@@ -1,0 +1,52 @@
+"""Unit tests for benchmark reporting."""
+
+import io
+import os
+
+import pytest
+
+from repro.bench import report_figure, report_table, run_figure, write_reports
+from repro.util.errors import BenchError
+from repro.util.tables import Table
+from repro.util.units import KB
+
+
+@pytest.fixture(scope="module")
+def small_figure():
+    return run_figure("fig2a", sizes=[64, 1 * KB], reps=1)
+
+
+def test_report_table_prints_and_returns():
+    table = Table(["a"], title="T")
+    table.add_row(1)
+    out = io.StringIO()
+    text = report_table(table, out=out)
+    assert "T" in out.getvalue()
+    assert text == table.render()
+
+
+def test_report_figure_banner(small_figure):
+    out = io.StringIO()
+    report_figure(small_figure, out=out)
+    assert out.getvalue().startswith("=== fig2a")
+
+
+def test_write_reports_creates_txt_and_csv(tmp_path, small_figure):
+    paths = write_reports([small_figure], str(tmp_path / "out"))
+    assert len(paths) == 2
+    for path in paths:
+        assert os.path.exists(path)
+    txt = [p for p in paths if p.endswith(".txt")][0]
+    assert "fig2a" in open(txt).read()
+    csv = [p for p in paths if p.endswith(".csv")][0]
+    assert open(csv).read().startswith("size,")
+
+
+def test_write_reports_without_csv(tmp_path, small_figure):
+    paths = write_reports([small_figure], str(tmp_path / "out"), csv=False)
+    assert len(paths) == 1 and paths[0].endswith(".txt")
+
+
+def test_write_reports_empty_rejected(tmp_path):
+    with pytest.raises(BenchError):
+        write_reports([], str(tmp_path))

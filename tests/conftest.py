@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MYRI_10G,
+    QUADRICS_QM500,
+    Session,
+    paper_platform,
+    sample_rails,
+    single_rail_platform,
+)
+
+
+@pytest.fixture()
+def plat2():
+    """The paper's 2-rail platform spec."""
+    return paper_platform()
+
+
+@pytest.fixture()
+def mx_plat():
+    return single_rail_platform(MYRI_10G)
+
+
+@pytest.fixture()
+def elan_plat():
+    return single_rail_platform(QUADRICS_QM500)
+
+
+@pytest.fixture(scope="session")
+def samples():
+    """Init-time sampling, shared (it is deterministic and read-only)."""
+    return sample_rails(paper_platform())
+
+
+@pytest.fixture()
+def session2(plat2):
+    """A fresh 2-rail session running the aggregating multirail strategy."""
+    return Session(plat2, strategy="aggreg_multirail")

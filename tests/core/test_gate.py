@@ -1,0 +1,43 @@
+"""Unit tests for gates and segments."""
+
+import pytest
+
+from repro.core.gate import Gate, Segment
+from repro.core.packet import Payload
+from repro.core.request import SendRequest
+from repro.sim import Simulator
+from repro.util.errors import ProtocolError
+
+
+def test_seq_monotonic_per_tag():
+    gate = Gate(0, 1)
+    assert [gate.next_seq(5) for _ in range(3)] == [0, 1, 2]
+    assert gate.next_seq(6) == 0  # independent channel
+    assert gate.next_seq(5) == 3
+
+
+def test_gate_to_self_rejected():
+    with pytest.raises(ProtocolError):
+        Gate(2, 2)
+
+
+def test_note_submit_statistics():
+    gate = Gate(0, 1)
+    gate.note_submit(100)
+    gate.note_submit(50)
+    assert gate.segments_submitted == 2
+    assert gate.bytes_submitted == 150
+
+
+def test_segment_size():
+    sim = Simulator()
+    payload = Payload.of(b"abcd")
+    seg = Segment(
+        dst_node=1,
+        tag=0,
+        seq=0,
+        payload=payload,
+        request=SendRequest(sim, 1, 0, 0, payload),
+        submitted_at=0.0,
+    )
+    assert seg.size == 4

@@ -1,0 +1,109 @@
+"""Unit tests for receive-side matching."""
+
+import pytest
+
+from repro.core.matching import MatchingTable
+from repro.core.packet import Payload, RdvReq
+from repro.core.request import RecvRequest
+from repro.sim import Simulator
+from repro.util.errors import MatchingError
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def req(sim, peer=0, tag=1):
+    return RecvRequest(sim, peer, tag, seq=-1)
+
+
+def rdv(tag=1, seq=0, req_id=1, length=100_000):
+    return RdvReq(req_id=req_id, tag=tag, seq=seq, total_length=length, chunks=((0, 0, length),))
+
+
+class TestPostFirst:
+    def test_posted_then_matched(self, sim):
+        table = MatchingTable()
+        r = req(sim)
+        outcome = table.post_recv(0, 1, r)
+        assert outcome.kind == "posted"
+        assert r.seq == 0
+        matched = table.match_eager(0, 1, 0, Payload.of(b"hi"))
+        assert matched is r
+        assert table.posted_count == 0
+
+    def test_sequence_numbers_assigned_in_post_order(self, sim):
+        table = MatchingTable()
+        reqs = [req(sim) for _ in range(3)]
+        for r in reqs:
+            table.post_recv(0, 1, r)
+        assert [r.seq for r in reqs] == [0, 1, 2]
+
+    def test_channels_are_independent(self, sim):
+        table = MatchingTable()
+        r_a = req(sim, peer=0, tag=1)
+        r_b = req(sim, peer=0, tag=2)
+        r_c = req(sim, peer=1, tag=1)
+        for peer, tag, r in [(0, 1, r_a), (0, 2, r_b), (1, 1, r_c)]:
+            table.post_recv(peer, tag, r)
+        assert (r_a.seq, r_b.seq, r_c.seq) == (0, 0, 0)
+        assert table.match_eager(0, 2, 0, Payload.of(b"x")) is r_b
+
+    def test_out_of_order_arrival_matches_by_seq(self, sim):
+        table = MatchingTable()
+        r0, r1 = req(sim), req(sim)
+        table.post_recv(0, 1, r0)
+        table.post_recv(0, 1, r1)
+        # seq 1 arrives before seq 0 (multi-rail reordering)
+        assert table.match_eager(0, 1, 1, Payload.of(b"b")) is r1
+        assert table.match_eager(0, 1, 0, Payload.of(b"a")) is r0
+
+
+class TestArriveFirst:
+    def test_unexpected_then_posted(self, sim):
+        table = MatchingTable()
+        assert table.match_eager(0, 1, 0, Payload.of(b"early")) is None
+        assert table.unexpected_count == 1
+        outcome = table.post_recv(0, 1, req(sim))
+        assert outcome.kind == "eager"
+        assert outcome.payload.data == b"early"
+        assert table.unexpected_count == 0
+
+    def test_duplicate_unexpected_rejected(self, sim):
+        table = MatchingTable()
+        table.match_eager(0, 1, 0, Payload.of(b"x"))
+        with pytest.raises(MatchingError):
+            table.match_eager(0, 1, 0, Payload.of(b"x"))
+
+    def test_rdv_then_posted(self, sim):
+        table = MatchingTable()
+        r = rdv(tag=1, seq=0)
+        assert table.match_rdv(0, r) is None
+        assert table.pending_rdv_count == 1
+        outcome = table.post_recv(0, 1, req(sim))
+        assert outcome.kind == "rdv"
+        assert outcome.rdv is r and outcome.rdv_src == 0
+
+    def test_posted_then_rdv(self, sim):
+        table = MatchingTable()
+        r = req(sim)
+        table.post_recv(0, 1, r)
+        assert table.match_rdv(0, rdv()) is r
+
+    def test_duplicate_rdv_rejected(self, sim):
+        table = MatchingTable()
+        table.match_rdv(0, rdv(req_id=1))
+        with pytest.raises(MatchingError):
+            table.match_rdv(0, rdv(req_id=2))  # same (peer, tag, seq)
+
+
+class TestStatistics:
+    def test_hit_counters(self, sim):
+        table = MatchingTable()
+        table.post_recv(0, 1, req(sim))
+        table.match_eager(0, 1, 0, Payload.of(b"a"))
+        table.match_eager(0, 1, 1, Payload.of(b"b"))  # unexpected
+        table.post_recv(0, 1, req(sim))
+        assert table.posted_hits == 1
+        assert table.unexpected_hits == 1

@@ -1,0 +1,135 @@
+"""Unit tests for payloads, packet wrappers and control entries."""
+
+import pytest
+
+from repro.core.packet import (
+    DmaChunk,
+    EagerEntry,
+    PacketWrapper,
+    Payload,
+    RdvAck,
+    RdvReq,
+)
+from repro.util.errors import ProtocolError
+
+
+class TestPayload:
+    def test_of_bytes(self):
+        p = Payload.of(b"hello")
+        assert p.size == 5 and p.data == b"hello" and not p.is_virtual
+
+    def test_of_int_is_virtual(self):
+        p = Payload.of(1024)
+        assert p.size == 1024 and p.is_virtual
+
+    def test_of_payload_passthrough(self):
+        p = Payload.of(b"x")
+        assert Payload.of(p) is p
+
+    def test_of_bytearray(self):
+        assert Payload.of(bytearray(b"ab")).data == b"ab"
+
+    def test_of_bad_type(self):
+        with pytest.raises(ProtocolError):
+            Payload.of(3.14)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            Payload(3, b"toolong!")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            Payload.virtual(-1)
+
+    def test_slice_real(self):
+        p = Payload.of(b"abcdef")
+        assert p.slice(2, 3).data == b"cde"
+        assert p.slice(0, 6).data == b"abcdef"
+        assert p.slice(6, 0).size == 0
+
+    def test_slice_virtual(self):
+        p = Payload.virtual(100)
+        s = p.slice(10, 20)
+        assert s.is_virtual and s.size == 20
+
+    @pytest.mark.parametrize("off,length", [(-1, 2), (0, 7), (5, 2)])
+    def test_slice_out_of_range(self, off, length):
+        with pytest.raises(ProtocolError):
+            Payload.of(b"abcdef").slice(off, length)
+
+    def test_checksum(self):
+        assert Payload.of(b"abc").checksum() == Payload.of(b"abc").checksum()
+        assert Payload.of(b"abc").checksum() != Payload.of(b"abd").checksum()
+        assert Payload.virtual(10).checksum() == 0
+
+    def test_equality(self):
+        assert Payload.of(b"x") == Payload.of(b"x")
+        assert Payload.of(b"x") != Payload.of(b"y")
+        assert Payload.virtual(3) == Payload.virtual(3)
+        assert Payload.of(b"abc") != Payload.virtual(3)
+        assert Payload.of(b"x") != "x"
+
+
+class TestRdvReq:
+    def test_valid_single_chunk(self):
+        req = RdvReq(req_id=1, tag=0, seq=0, total_length=100, chunks=((0, 0, 100),))
+        assert req.total_length == 100
+
+    def test_valid_multi_chunk_any_order(self):
+        RdvReq(1, 0, 0, 100, chunks=((1, 60, 40), (0, 0, 60)))
+
+    def test_gap_rejected(self):
+        with pytest.raises(ProtocolError, match="gap"):
+            RdvReq(1, 0, 0, 100, chunks=((0, 0, 50), (1, 60, 40)))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ProtocolError):
+            RdvReq(1, 0, 0, 100, chunks=((0, 0, 60), (1, 50, 50)))
+
+    def test_wrong_total_rejected(self):
+        with pytest.raises(ProtocolError, match="cover"):
+            RdvReq(1, 0, 0, 100, chunks=((0, 0, 99),))
+
+    def test_empty_chunks_rejected(self):
+        with pytest.raises(ProtocolError):
+            RdvReq(1, 0, 0, 100, chunks=())
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ProtocolError):
+            RdvReq(1, 0, 0, 100, chunks=((-1, 0, 100),))
+        with pytest.raises(ProtocolError):
+            RdvReq(1, 0, 0, 0, chunks=((0, 0, 0),))
+
+    def test_wire_size_grows_with_chunks(self):
+        one = RdvReq(1, 0, 0, 100, chunks=((0, 0, 100),))
+        two = RdvReq(2, 0, 0, 100, chunks=((0, 0, 50), (1, 50, 50)))
+        assert two.wire_size(32) == one.wire_size(32) + 8
+
+
+class TestPacketWrapper:
+    def test_entry_classification(self):
+        pw = PacketWrapper(src_node=0, dst_node=1)
+        e1 = EagerEntry(tag=1, seq=0, payload=Payload.of(b"abcd"))
+        e2 = RdvAck(req_id=3)
+        pw.add(e1)
+        pw.add(e2)
+        assert pw.data_entries == [e1]
+        assert pw.ctrl_entries == [e2]
+        assert pw.data_bytes == 4
+
+    def test_wire_size(self):
+        pw = PacketWrapper(src_node=0, dst_node=1)
+        pw.add(EagerEntry(tag=1, seq=0, payload=Payload.virtual(100)))
+        pw.add(RdvAck(req_id=1))
+        pw.add(RdvReq(2, 0, 0, 50, chunks=((0, 0, 50),)))
+        assert pw.wire_size(header_bytes=16, ctrl_bytes=32) == (16 + 100) + 16 + 32
+
+    def test_eager_entry_wire_size(self):
+        e = EagerEntry(tag=0, seq=0, payload=Payload.virtual(10))
+        assert e.wire_size(16) == 26
+
+
+class TestDmaChunk:
+    def test_length(self):
+        c = DmaChunk(req_id=1, src_node=0, offset=10, payload=Payload.virtual(90))
+        assert c.length == 90

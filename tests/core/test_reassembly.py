@@ -1,0 +1,104 @@
+"""Unit tests for chunk reassembly."""
+
+import pytest
+
+from repro.core.packet import Payload
+from repro.core.reassembly import ReassemblyBuffer
+from repro.util.errors import ProtocolError
+
+
+def test_in_order_assembly():
+    buf = ReassemblyBuffer(6)
+    buf.add(0, Payload.of(b"abc"))
+    assert not buf.complete and buf.missing_bytes == 3
+    buf.add(3, Payload.of(b"def"))
+    assert buf.complete
+    assert buf.assemble().data == b"abcdef"
+
+
+def test_reverse_order_assembly():
+    buf = ReassemblyBuffer(6)
+    buf.add(3, Payload.of(b"def"))
+    buf.add(0, Payload.of(b"abc"))
+    assert buf.assemble().data == b"abcdef"
+
+
+def test_three_chunks_shuffled():
+    buf = ReassemblyBuffer(9)
+    buf.add(3, Payload.of(b"def"))
+    buf.add(6, Payload.of(b"ghi"))
+    buf.add(0, Payload.of(b"abc"))
+    assert buf.assemble().data == b"abcdefghi"
+
+
+def test_single_chunk():
+    buf = ReassemblyBuffer(3)
+    buf.add(0, Payload.of(b"xyz"))
+    assert buf.assemble().data == b"xyz"
+
+
+def test_virtual_chunk_makes_result_virtual():
+    buf = ReassemblyBuffer(10)
+    buf.add(0, Payload.of(b"abcde"))
+    buf.add(5, Payload.virtual(5))
+    result = buf.assemble()
+    assert result.is_virtual and result.size == 10
+
+
+def test_overlap_rejected():
+    buf = ReassemblyBuffer(10)
+    buf.add(0, Payload.virtual(6))
+    with pytest.raises(ProtocolError, match="overlaps"):
+        buf.add(5, Payload.virtual(5))
+
+
+def test_exact_duplicate_rejected():
+    buf = ReassemblyBuffer(10)
+    buf.add(0, Payload.virtual(5))
+    with pytest.raises(ProtocolError):
+        buf.add(0, Payload.virtual(5))
+
+
+def test_out_of_range_rejected():
+    buf = ReassemblyBuffer(10)
+    with pytest.raises(ProtocolError):
+        buf.add(8, Payload.virtual(5))
+    with pytest.raises(ProtocolError):
+        buf.add(-1, Payload.virtual(2))
+
+
+def test_empty_chunk_rejected():
+    buf = ReassemblyBuffer(10)
+    with pytest.raises(ProtocolError):
+        buf.add(0, Payload.virtual(0))
+
+
+def test_assemble_incomplete_rejected():
+    buf = ReassemblyBuffer(10)
+    buf.add(0, Payload.virtual(5))
+    with pytest.raises(ProtocolError, match="missing"):
+        buf.assemble()
+
+
+def test_non_positive_total_rejected():
+    with pytest.raises(ProtocolError):
+        ReassemblyBuffer(0)
+
+
+def test_received_bytes_tracking():
+    buf = ReassemblyBuffer(100)
+    buf.add(40, Payload.virtual(20))
+    assert buf.received_bytes == 20
+    buf.add(0, Payload.virtual(40))
+    assert buf.received_bytes == 60
+    buf.add(60, Payload.virtual(40))
+    assert buf.received_bytes == 100 and buf.complete
+
+
+def test_interval_merging_keeps_structure_small():
+    buf = ReassemblyBuffer(100)
+    # adjacent chunks merge into one interval
+    for off in range(0, 100, 10):
+        buf.add(off, Payload.virtual(10))
+    assert buf.complete
+    assert buf._intervals == [(0, 100)]

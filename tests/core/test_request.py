@@ -1,0 +1,120 @@
+"""Unit tests for request handles."""
+
+import pytest
+
+from repro.core.packet import Payload
+from repro.core.request import MultiRequest, RecvRequest, SendRequest
+from repro.sim import Signal, Simulator, Timeout, spawn
+from repro.util.errors import ApiError
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestRequest:
+    def test_completion_is_signal_while_pending(self, sim):
+        r = SendRequest(sim, 1, 0, 0, Payload.virtual(10))
+        assert isinstance(r.completion, Signal)
+        r._complete()
+        assert isinstance(r.completion, Timeout)
+
+    def test_elapsed(self, sim):
+        r = SendRequest(sim, 1, 0, 0, Payload.virtual(10))
+        sim.schedule(5.0, r._complete)
+        sim.run()
+        assert r.elapsed_us == pytest.approx(5.0)
+
+    def test_elapsed_before_completion_raises(self, sim):
+        r = SendRequest(sim, 1, 0, 0, Payload.virtual(10))
+        with pytest.raises(ApiError):
+            _ = r.elapsed_us
+
+    def test_double_complete_rejected(self, sim):
+        r = SendRequest(sim, 1, 0, 0, Payload.virtual(10))
+        r._complete()
+        with pytest.raises(ApiError):
+            r._complete()
+
+    def test_process_waits_on_completion(self, sim):
+        r = SendRequest(sim, 1, 0, 0, Payload.virtual(10))
+        times = []
+
+        def proc():
+            yield r.completion
+            times.append(sim.now)
+
+        spawn(sim, proc())
+        sim.schedule(3.0, r._complete)
+        sim.run()
+        assert times == [3.0]
+
+    def test_wait_on_already_done_request(self, sim):
+        r = SendRequest(sim, 1, 0, 0, Payload.virtual(10))
+        r._complete()
+        done = []
+
+        def proc():
+            yield r.completion
+            done.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert done == [0.0]
+
+
+class TestRecvRequest:
+    def test_deliver_sets_payload_and_completes(self, sim):
+        r = RecvRequest(sim, 0, 1, -1)
+        r._deliver(Payload.of(b"data"))
+        assert r.done and r.data == b"data"
+
+    def test_double_deliver_rejected(self, sim):
+        r = RecvRequest(sim, 0, 1, -1)
+        r._deliver(Payload.of(b"x"))
+        with pytest.raises(ApiError):
+            r._deliver(Payload.of(b"y"))
+
+    def test_data_none_for_virtual(self, sim):
+        r = RecvRequest(sim, 0, 1, -1)
+        assert r.data is None
+        r._deliver(Payload.virtual(5))
+        assert r.data is None and r.payload.size == 5
+
+
+class TestMultiRequest:
+    def test_done_and_completed_at(self, sim):
+        rs = [SendRequest(sim, 1, 0, i, Payload.virtual(1)) for i in range(3)]
+        multi = MultiRequest(rs)
+        assert not multi.done
+        for i, r in enumerate(rs):
+            sim.schedule(float(i + 1), r._complete)
+        sim.run()
+        assert multi.done
+        assert multi.completed_at == pytest.approx(3.0)
+        assert len(multi) == 3 and list(multi) == rs
+
+    def test_completed_at_before_done_raises(self, sim):
+        multi = MultiRequest([SendRequest(sim, 1, 0, 0, Payload.virtual(1))])
+        with pytest.raises(ApiError):
+            _ = multi.completed_at
+
+    def test_empty_rejected(self):
+        with pytest.raises(ApiError):
+            MultiRequest([])
+
+    def test_completion_waits_for_all(self, sim):
+        rs = [SendRequest(sim, 1, 0, i, Payload.virtual(1)) for i in range(2)]
+        multi = MultiRequest(rs)
+        times = []
+
+        def proc():
+            yield multi.completion
+            times.append(sim.now)
+
+        spawn(sim, proc())
+        sim.schedule(2.0, rs[0]._complete)
+        sim.schedule(7.0, rs[1]._complete)
+        sim.run()
+        assert times == [7.0]

@@ -1,0 +1,107 @@
+"""Unit tests for init-time sampling and the fitted transfer-time model."""
+
+import pytest
+
+from repro import paper_platform, sample_rails
+from repro.core.sampling import DEFAULT_SAMPLE_SIZES, RailSample, SampleTable
+from repro.util.errors import ConfigError
+
+
+def linear_points(overhead, bw, sizes=(1000, 2000, 4000)):
+    return [(s, overhead + s / bw) for s in sizes]
+
+
+class TestRailSampleFit:
+    def test_exact_fit_of_linear_data(self):
+        sample = RailSample.fit("r", linear_points(overhead=7.0, bw=500.0))
+        assert sample.overhead_us == pytest.approx(7.0)
+        assert sample.bw_MBps == pytest.approx(500.0)
+
+    def test_predict(self):
+        sample = RailSample.fit("r", linear_points(5.0, 100.0))
+        assert sample.predict_us(1000) == pytest.approx(15.0)
+
+    def test_negative_intercept_clamped(self):
+        # decreasing overhead estimate below zero is clamped, bw kept
+        points = [(1000, 0.9), (2000, 2.0), (4000, 4.0)]
+        sample = RailSample.fit("r", points)
+        assert sample.overhead_us >= 0.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigError):
+            RailSample.fit("r", [(1000, 5.0)])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ConfigError):
+            RailSample.fit("r", [(1000, 5.0), (2000, 4.0)])
+
+
+class TestSampleTable:
+    @pytest.fixture()
+    def table(self):
+        return SampleTable(
+            {
+                "fast": RailSample.fit("fast", linear_points(5.0, 1200.0)),
+                "slow": RailSample.fit("slow", linear_points(8.0, 800.0)),
+            }
+        )
+
+    def test_ratios_proportional_to_bandwidth(self, table):
+        ratios = table.ratios(["fast", "slow"])
+        assert ratios["fast"] == pytest.approx(0.6)
+        assert ratios["slow"] == pytest.approx(0.4)
+        assert sum(ratios.values()) == pytest.approx(1.0)
+
+    def test_best_rail_depends_on_size(self, table):
+        # at tiny sizes 'fast' still wins here (lower overhead too)
+        assert table.best_rail(["fast", "slow"], 1000) == "fast"
+
+    def test_best_rail_crossover(self):
+        table = SampleTable(
+            {
+                "lowlat": RailSample.fit("lowlat", linear_points(1.0, 100.0)),
+                "highbw": RailSample.fit("highbw", linear_points(20.0, 1000.0)),
+            }
+        )
+        assert table.best_rail(["lowlat", "highbw"], 100) == "lowlat"
+        assert table.best_rail(["lowlat", "highbw"], 100_000) == "highbw"
+
+    def test_split_predict(self, table):
+        t = table.split_predict_us(["fast", "slow"], 200_000)
+        # balanced chunks finish together: 5+0.6*200000/1200 vs 8+0.4*200000/800
+        assert t == pytest.approx(max(5 + 100.0, 8 + 100.0))
+
+    def test_unknown_rail(self, table):
+        with pytest.raises(ConfigError):
+            table.get("nope")
+        assert "nope" not in table and "fast" in table
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigError):
+            SampleTable({})
+
+    def test_best_rail_empty_set_rejected(self, table):
+        with pytest.raises(ConfigError):
+            table.best_rail([], 10)
+
+
+class TestSampleRails:
+    def test_paper_platform_sampling(self, samples):
+        """Sampling measures values close to (but above) the spec numbers."""
+        assert set(samples.rail_names) == {"myri10g", "qsnet2"}
+        mx, elan = samples.get("myri10g"), samples.get("qsnet2")
+        assert mx.bw_MBps == pytest.approx(1210.0, rel=0.05)
+        assert elan.bw_MBps == pytest.approx(860.0, rel=0.05)
+        assert mx.overhead_us > 0 and elan.overhead_us > 0
+        # the paper's stripping ratio ~0.585 toward Myri-10G
+        assert samples.ratios(["myri10g", "qsnet2"])["myri10g"] == pytest.approx(
+            0.585, abs=0.02
+        )
+
+    def test_sample_points_recorded(self, samples):
+        mx = samples.get("myri10g")
+        assert [p[0] for p in mx.points] == list(DEFAULT_SAMPLE_SIZES)
+
+    def test_too_few_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_rails(paper_platform(), sizes=(65536,))

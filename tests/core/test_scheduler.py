@@ -1,0 +1,118 @@
+"""Unit/behaviour tests for the NIC-driven core scheduler (pump)."""
+
+import pytest
+
+from repro import Session, paper_platform, run_pingpong
+from repro.core.packet import Payload
+from repro.util.errors import ApiError, ProtocolError
+
+
+@pytest.fixture()
+def session(plat2):
+    return Session(plat2, strategy="aggreg_multirail")
+
+
+class TestSubmissionApi:
+    def test_submit_returns_live_request(self, session):
+        req = session.engine(0).submit(1, 3, Payload.of(b"x"))
+        assert not req.done and req.peer == 1 and req.tag == 3 and req.seq == 0
+
+    def test_submit_to_self_rejected(self, session):
+        with pytest.raises(ApiError):
+            session.engine(0).submit(0, 1, Payload.of(b"x"))
+
+    def test_submit_to_unknown_node_rejected(self, session):
+        with pytest.raises(ApiError):
+            session.engine(0).submit(5, 1, Payload.of(b"x"))
+
+    def test_recv_from_self_rejected(self, session):
+        with pytest.raises(ApiError):
+            session.engine(0).post_recv(0, 1)
+
+    def test_gates_created_lazily_per_peer(self, session):
+        engine = session.engine(0)
+        assert engine.gates == {}
+        engine.submit(1, 0, Payload.virtual(1))
+        assert list(engine.gates) == [1]
+        assert engine.gates[1].segments_submitted == 1
+
+
+class TestPumpBehaviour:
+    def test_pump_sleeps_when_idle(self, session):
+        """An idle session's event queue drains completely."""
+        session.run_until_idle()
+        before = session.sim.events_executed
+        session.run_until_idle()
+        assert session.sim.events_executed == before
+
+    def test_polls_charged_per_sweep(self, session):
+        run_pingpong(session, 64, reps=2, warmup=0)
+        engine = session.engine(0)
+        # both drivers polled the same number of sweeps
+        assert engine.drivers[0].polls == engine.drivers[1].polls
+        assert engine.counters["polls"] == 2 * engine.counters["sweeps"]
+
+    def test_unexpected_eager_path(self, session):
+        """Send before the receive is posted: data parks, then matches."""
+        a = session.interface(0)
+        b = session.interface(1)
+        a.isend(1, 9, b"early bird")
+        session.run_until_idle()
+        assert session.engine(1).counters["unexpected_eager"] == 1
+        req = b.irecv(0, 9)
+        assert req.done and req.data == b"early bird"
+        assert session.engine(1).counters["unexpected_matches"] == 1
+
+    def test_send_request_completes_after_post(self, session):
+        req = session.interface(0).isend(1, 1, b"abc")
+        session.run_until_idle()
+        assert req.done
+        assert req.completed_at > 0
+
+    def test_stop_halts_pump(self, session):
+        session.engine(1).stop()
+        session.interface(0).isend(1, 1, b"into the void")
+        session.run_until_idle()
+        # delivered to the NIC but never handled
+        assert any(d.nic.rx_pending for d in session.engine(1).drivers)
+
+    def test_unknown_packet_rejected(self, session):
+        engine = session.engine(0)
+        with pytest.raises(ProtocolError):
+            engine._handle_packet(engine.drivers[0], object())
+
+    def test_counters_track_traffic(self, session):
+        run_pingpong(session, 256, segments=2, reps=3, warmup=1)
+        c = session.counters()
+        assert c["segments_submitted"] == 2 * 2 * 4  # both sides, 4 rounds
+        assert c["eager_rx"] == c["segments_submitted"]
+        assert c["packets_committed"] > 0
+        assert c["sweeps"] > 0
+
+    def test_commit_order_fastest_rail_first(self, session):
+        engine = session.engine(0)
+        order = [engine.drivers[i].name for i in engine._order]
+        assert order == ["qsnet2", "myri10g"]
+
+
+class TestLatencyAccounting:
+    def test_single_rail_small_message_budget(self, mx_plat):
+        """The 2.8us scalar decomposes exactly into the spec costs."""
+        session = Session(mx_plat, strategy="single_rail")
+        res = run_pingpong(session, 4)
+        spec = mx_plat.rails[0]
+        expected = (
+            spec.post_cost_us
+            + (4 + spec.header_bytes) / spec.pio_MBps
+            + spec.lat_us
+            + spec.poll_cost_us
+            + spec.handle_cost_us
+            + 4 / mx_plat.host.memcpy_MBps
+        )
+        assert res.one_way_us == pytest.approx(expected, rel=0.02)
+
+    def test_multirail_pays_idle_poll(self, plat2, elan_plat):
+        multi = run_pingpong(Session(plat2, strategy="aggreg_multirail"), 4)
+        only = run_pingpong(Session(elan_plat, strategy="aggreg"), 4)
+        gap = multi.one_way_us - only.one_way_us
+        assert gap == pytest.approx(plat2.rails[0].poll_cost_us, abs=0.05)

@@ -1,0 +1,97 @@
+"""Edge cases: zero-byte messages, threshold boundaries, huge tag values,
+many channels, back-to-back sessions on one simulator."""
+
+import pytest
+
+from repro import Session, paper_platform, run_pingpong
+from repro.sim import Simulator
+from repro.util.units import KB
+
+
+def test_zero_byte_message(plat2):
+    session = Session(plat2, strategy="aggreg_multirail")
+    recv = session.interface(1).irecv(0, 1)
+    req = session.interface(0).isend(1, 1, b"")
+    session.run_until_idle()
+    assert req.done and recv.done
+    assert recv.payload.size == 0
+    assert recv.data == b""
+
+
+def test_zero_byte_messages_aggregate_with_data(plat2):
+    session = Session(plat2, strategy="aggreg_multirail")
+    recvs = [session.interface(1).irecv(0, 1) for _ in range(3)]
+    session.interface(0).isend(1, 1, b"")
+    session.interface(0).isend(1, 1, b"data")
+    session.interface(0).isend(1, 1, b"")
+    session.run_until_idle()
+    assert [r.data for r in recvs] == [b"", b"data", b""]
+
+
+@pytest.mark.parametrize("delta", [-1, 0, 1])
+def test_exactly_at_eager_threshold(plat2, delta):
+    """Segments straddling the PIO/rendezvous boundary must both work."""
+    size = plat2.rails[0].eager_threshold - plat2.rails[0].header_bytes + delta
+    session = Session(plat2, strategy="greedy")
+    recv = session.interface(1).irecv(0, 1)
+    session.interface(0).isend(1, 1, bytes(size))
+    session.run_until_idle()
+    assert recv.done and recv.payload.size == size
+    went_rdv = session.engine(0).drivers[0].dma_started + session.engine(0).drivers[1].dma_started
+    assert went_rdv == (1 if delta > 0 else 0)
+
+
+def test_huge_tag_values(plat2):
+    session = Session(plat2)
+    tag = 2**31
+    recv = session.interface(1).irecv(0, tag)
+    session.interface(0).isend(1, tag, b"big tag")
+    session.run_until_idle()
+    assert recv.data == b"big tag"
+
+
+def test_many_channels_simultaneously(plat2):
+    session = Session(plat2, strategy="aggreg_multirail")
+    n = 64
+    recvs = {t: session.interface(1).irecv(0, t) for t in range(n)}
+    for t in reversed(range(n)):
+        session.interface(0).isend(1, t, bytes([t]))
+    session.run_until_idle()
+    for t in range(n):
+        assert recvs[t].data == bytes([t])
+
+
+def test_two_sessions_share_one_simulator():
+    """Independent sessions can coexist on one clock (e.g. co-simulation)."""
+    sim = Simulator()
+    s1 = Session(paper_platform(), strategy="greedy", sim=sim)
+    s2 = Session(paper_platform(), strategy="aggreg", sim=sim)
+    r1 = s1.interface(1).irecv(0, 1)
+    r2 = s2.interface(1).irecv(0, 1)
+    s1.interface(0).isend(1, 1, b"one")
+    s2.interface(0).isend(1, 1, b"two")
+    sim.run_until_idle()
+    assert r1.data == b"one" and r2.data == b"two"
+
+
+def test_session_reuse_across_measurements(plat2):
+    """Sequential ping-pongs on one session leave no residue."""
+    session = Session(plat2, strategy="split_balance")
+    first = run_pingpong(session, 64 * KB, reps=2)
+    second = run_pingpong(session, 64 * KB, reps=2)
+    assert second.one_way_us == pytest.approx(first.one_way_us, rel=0.02)
+    for engine in session.engines:
+        assert engine.strategy.backlog == 0
+        assert engine.rdv.outstanding_out == 0
+        assert engine.rdv.outstanding_in == 0
+        assert engine.matching.unexpected_count == 0
+
+
+def test_burst_of_mixed_sizes_drains(plat2, samples):
+    session = Session(plat2, strategy="split_balance", samples=samples)
+    sizes = [3, 700, 20 * KB, 5, 300 * KB, 16 * KB, 1, 64 * KB]
+    recvs = [session.interface(1).irecv(0, 1) for _ in sizes]
+    for s in sizes:
+        session.interface(0).isend(1, 1, s)
+    session.run_until_idle()
+    assert [r.payload.size for r in recvs] == sizes

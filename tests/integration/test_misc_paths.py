@@ -1,0 +1,94 @@
+"""Coverage for less-travelled paths: TCP's copy-on-receive rendezvous,
+three-rail stripping, SCI traffic, and the experiments CLI."""
+
+import pytest
+
+from repro import (
+    GIGE_TCP,
+    IB_DDR,
+    MYRI_10G,
+    QUADRICS_QM500,
+    SCI_D33X,
+    PlatformSpec,
+    Session,
+    run_pingpong,
+    sample_rails,
+    single_rail_platform,
+)
+from repro.hardware.presets import PAPER_HOST
+from repro.util.units import KB, MB
+
+
+class TestTcpDriver:
+    def test_tcp_end_to_end(self):
+        session = Session(single_rail_platform(GIGE_TCP), strategy="aggreg")
+        recv = session.interface(1).irecv(0, 1)
+        session.interface(0).isend(1, 1, b"over ethernet" * 100)
+        session.run_until_idle()
+        assert recv.done and recv.data == b"over ethernet" * 100
+
+    def test_tcp_rendezvous_pays_receive_copy(self):
+        """zero_copy_recv=False charges an extra memcpy on DMA arrival."""
+        size = 1 * MB
+        tcp = run_pingpong(Session(single_rail_platform(GIGE_TCP), strategy="single_rail"), size, reps=2)
+        # a hypothetical zero-copy TCP for comparison
+        zc_rail = GIGE_TCP.replace(name="gige_zc", zero_copy_recv=True)
+        zc = run_pingpong(Session(single_rail_platform(zc_rail), strategy="single_rail"), size, reps=2)
+        copy_us = size / PAPER_HOST.memcpy_MBps
+        assert tcp.one_way_us - zc.one_way_us == pytest.approx(copy_us, rel=0.05)
+
+    def test_tcp_bandwidth_near_wire_speed(self):
+        res = run_pingpong(Session(single_rail_platform(GIGE_TCP), strategy="single_rail"), 8 * MB, reps=2)
+        assert res.bandwidth_MBps == pytest.approx(GIGE_TCP.bw_MBps, rel=0.05)
+
+
+class TestThreeRailSplit:
+    @pytest.fixture()
+    def spec3(self):
+        return PlatformSpec(
+            rails=(MYRI_10G, QUADRICS_QM500, IB_DDR.replace(name="ibddr2")),
+            n_nodes=2,
+            host=PAPER_HOST.replace(bus_MBps=5000.0),  # bus wide open
+        )
+
+    def test_splits_across_three_rails(self, spec3):
+        samples = sample_rails(spec3)
+        session = Session(spec3, strategy="split_balance", samples=samples)
+        data = bytes(range(256)) * (8 * KB)  # 2 MB patterned
+        recv = session.interface(1).irecv(0, 1)
+        session.interface(0).isend(1, 1, data)
+        session.run_until_idle()
+        assert recv.done and recv.data == data
+        eng = session.engine(0)
+        assert [d.dma_started for d in eng.drivers] == [1, 1, 1]
+        # chunk sizes follow the three-way sampled ratios
+        by_rail = eng.rdv.bytes_by_rail
+        assert by_rail[2] > by_rail[0] > by_rail[1]  # ib > mx > elan
+
+    def test_three_rail_aggregate_bandwidth(self, spec3):
+        samples = sample_rails(spec3)
+        res = run_pingpong(
+            Session(spec3, strategy="split_balance", samples=samples), 16 * MB, reps=2
+        )
+        best_single = max(r.bw_MBps for r in spec3.rails)
+        assert res.bandwidth_MBps > 1.8 * best_single
+
+
+class TestSciDriver:
+    def test_sci_roundtrip(self):
+        session = Session(single_rail_platform(SCI_D33X), strategy="aggreg")
+        recv = session.interface(1).irecv(0, 1)
+        session.interface(0).isend(1, 1, b"sisci" * 2000)
+        session.run_until_idle()
+        assert recv.done and recv.payload.size == 10_000
+
+
+class TestExperimentsCli:
+    def test_experiments_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "EXP.md"
+        code = main(["experiments", "-o", str(out), "--reps", "1", "--no-ablations"])
+        assert code == 0
+        assert "11/11" in capsys.readouterr().out
+        assert out.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,164 @@
+"""The reproduction's acceptance tests: shape criteria A1-A5 of DESIGN.md.
+
+Each test corresponds to a claim the paper makes about a figure; absolute
+values are checked only where the paper states a scalar (2.8/1.7 µs,
+1200/850 MB/s, 1675 MB/s aggregated).
+"""
+
+import pytest
+
+from repro import (
+    MYRI_10G,
+    QUADRICS_QM500,
+    Session,
+    paper_platform,
+    run_pingpong,
+    single_rail_platform,
+)
+from repro.util.units import KB, MB
+
+
+def pp(session, size, segments=1, reps=3):
+    return run_pingpong(session, size, segments=segments, reps=reps)
+
+
+class TestA1SmallMessageLatency:
+    """Fig 2(a)/3(a): latency ordering and aggregation benefit."""
+
+    def test_section_3_1_scalars(self, mx_plat, elan_plat):
+        assert pp(Session(mx_plat, strategy="single_rail"), 4).one_way_us == pytest.approx(2.8, abs=0.1)
+        assert pp(Session(elan_plat, strategy="single_rail"), 4).one_way_us == pytest.approx(1.7, abs=0.1)
+
+    @pytest.mark.parametrize("plat_name", ["mx", "elan"])
+    def test_multiseg_ordering(self, plat_name, mx_plat, elan_plat):
+        plat = mx_plat if plat_name == "mx" else elan_plat
+        lat = {
+            segs: pp(Session(plat, strategy="single_rail"), 64, segments=segs).one_way_us
+            for segs in (1, 2, 4)
+        }
+        assert lat[1] < lat[2] < lat[4]
+
+    @pytest.mark.parametrize("plat_name", ["mx", "elan"])
+    def test_aggregation_restores_near_regular(self, plat_name, mx_plat, elan_plat):
+        plat = mx_plat if plat_name == "mx" else elan_plat
+        regular = pp(Session(plat, strategy="single_rail"), 64).one_way_us
+        agg4 = pp(Session(plat, strategy="aggreg"), 64, segments=4).one_way_us
+        plain4 = pp(Session(plat, strategy="single_rail"), 64, segments=4).one_way_us
+        assert agg4 < plain4
+        assert agg4 <= regular * 1.25
+
+    def test_aggregation_gain_bigger_on_quadrics(self, mx_plat, elan_plat):
+        """"the gain of aggregating small packets on Quadrics is even
+        bigger than on Myri-10G" — compare relative 4-seg penalties."""
+
+        def relative_penalty(plat):
+            plain = pp(Session(plat, strategy="single_rail"), 16, segments=4).one_way_us
+            regular = pp(Session(plat, strategy="single_rail"), 16).one_way_us
+            return plain / regular
+
+        assert relative_penalty(elan_plat) > relative_penalty(mx_plat)
+
+
+class TestA2PeakBandwidth:
+    """Fig 2(b)/3(b): asymptotic single-rail bandwidths."""
+
+    def test_myri_1200(self, mx_plat):
+        bw = pp(Session(mx_plat, strategy="single_rail"), 8 * MB, reps=2).bandwidth_MBps
+        assert bw == pytest.approx(1200.0, rel=0.03)
+
+    def test_quadrics_850(self, elan_plat):
+        bw = pp(Session(elan_plat, strategy="single_rail"), 8 * MB, reps=2).bandwidth_MBps
+        assert bw == pytest.approx(850.0, rel=0.03)
+
+    def test_bandwidth_monotone_in_size(self, mx_plat):
+        bws = [
+            pp(Session(mx_plat, strategy="single_rail"), s, reps=2).bandwidth_MBps
+            for s in (32 * KB, 256 * KB, 2 * MB, 8 * MB)
+        ]
+        assert bws == sorted(bws)
+
+
+class TestA3GreedyPayoff:
+    """Fig 4/5: multi-rail pays off only past the PIO region; aggregate
+    bandwidth well above the best single rail but below the NIC sum."""
+
+    def test_no_gain_small(self, plat2):
+        greedy = pp(Session(plat2, strategy="greedy"), 2 * KB, segments=2).one_way_us
+        best = min(
+            pp(Session(plat2, strategy="aggreg", strategy_opts={"rail": r}), 2 * KB, segments=2).one_way_us
+            for r in ("myri10g", "qsnet2")
+        )
+        assert greedy >= best
+
+    def test_clear_gain_large(self, plat2):
+        greedy = pp(Session(plat2, strategy="greedy"), 1 * MB, segments=2, reps=2).bandwidth_MBps
+        best = max(
+            pp(Session(plat2, strategy="aggreg", strategy_opts={"rail": r}), 1 * MB, segments=2, reps=2).bandwidth_MBps
+            for r in ("myri10g", "qsnet2")
+        )
+        assert greedy > 1.3 * best
+
+    def test_crossover_in_expected_band(self, plat2):
+        """The crossover falls between 16K and 64K total (paper: >16K,
+        conclusion: from 32K)."""
+
+        def gain(size):
+            greedy = pp(Session(plat2, strategy="greedy"), size, segments=2).one_way_us
+            mx = pp(
+                Session(plat2, strategy="aggreg", strategy_opts={"rail": "myri10g"}),
+                size,
+                segments=2,
+            ).one_way_us
+            return mx / greedy
+
+        assert gain(16 * KB) <= 1.02
+        assert gain(64 * KB) > 1.1
+
+    def test_aggregate_below_nic_sum(self, plat2):
+        greedy = pp(Session(plat2, strategy="greedy"), 8 * MB, segments=2, reps=2).bandwidth_MBps
+        assert greedy < MYRI_10G.bw_MBps + QUADRICS_QM500.bw_MBps
+        assert greedy == pytest.approx(1675.0, rel=0.08)  # the paper's headline
+
+
+class TestA4PollingPenalty:
+    """Fig 6: aggreg_multirail == Quadrics-only + idle Myri poll."""
+
+    def test_gap_equals_poll_cost_across_sizes(self, plat2, elan_plat):
+        for size in (4, 256, 4 * KB):
+            multi = pp(Session(plat2, strategy="aggreg_multirail"), size, segments=2).one_way_us
+            only = pp(Session(elan_plat, strategy="aggreg"), size, segments=2).one_way_us
+            assert multi - only == pytest.approx(MYRI_10G.poll_cost_us, abs=0.05)
+
+    def test_still_below_myri_only(self, plat2, mx_plat):
+        multi = pp(Session(plat2, strategy="aggreg_multirail"), 4, segments=2).one_way_us
+        myri = pp(Session(mx_plat, strategy="aggreg"), 4, segments=2).one_way_us
+        assert multi < myri
+
+
+class TestA5AdaptiveStripping:
+    """Fig 7: hetero-split > iso-split > best single rail; ratios sampled."""
+
+    def test_ordering_at_8mb(self, plat2, mx_plat, elan_plat, samples):
+        size = 8 * MB
+        hetero = pp(Session(plat2, strategy="split_balance", samples=samples), size, reps=2).bandwidth_MBps
+        iso = pp(
+            Session(plat2, strategy="split_balance", strategy_opts={"ratio_mode": "iso"}, samples=samples),
+            size,
+            reps=2,
+        ).bandwidth_MBps
+        mx = pp(Session(mx_plat, strategy="single_rail"), size, reps=2).bandwidth_MBps
+        elan = pp(Session(elan_plat, strategy="single_rail"), size, reps=2).bandwidth_MBps
+        assert hetero > iso > mx > elan
+
+    def test_ratio_comes_from_sampling(self, samples):
+        ratios = samples.ratios(["myri10g", "qsnet2"])
+        expected = MYRI_10G.bw_MBps / (MYRI_10G.bw_MBps + QUADRICS_QM500.bw_MBps)
+        assert ratios["myri10g"] == pytest.approx(expected, abs=0.02)
+
+    def test_multirail_worthwhile_from_32k(self, plat2, mx_plat, samples):
+        """Conclusion: "benefits of using multiple physical networks when
+        exchanging data starting from 32KB-length messages" — by 64K the
+        split clearly wins; below 32K it never loses to the best rail."""
+        hetero64 = pp(Session(plat2, strategy="split_balance", samples=samples), 64 * KB, reps=2).bandwidth_MBps
+        mx64 = pp(Session(mx_plat, strategy="single_rail"), 64 * KB, reps=2).bandwidth_MBps
+        assert hetero64 > 1.1 * mx64

@@ -1,0 +1,91 @@
+"""End-to-end ANY_SOURCE receives through the full engine."""
+
+import pytest
+
+from repro import ANY_SOURCE, Session, paper_platform
+from repro.mpi import Communicator
+from repro.sim.process import AllOf
+from repro.util.units import KB
+
+
+def test_wildcard_collects_from_all_peers():
+    session = Session(paper_platform(n_nodes=4), strategy="aggreg_multirail")
+    recvs = [session.interface(0).irecv(ANY_SOURCE, 1) for _ in range(3)]
+    for src in (1, 2, 3):
+        session.interface(src).isend(0, 1, bytes([src]) * 64)
+    session.run_until_idle()
+    assert all(r.done for r in recvs)
+    sources = sorted(r.peer for r in recvs)
+    assert sources == [1, 2, 3]
+    for r in recvs:
+        assert r.data == bytes([r.peer]) * 64
+
+
+def test_wildcard_rendezvous(plat2):
+    """Large messages (rendezvous path) also match wildcards."""
+    session = Session(plat2, strategy="greedy")
+    recv = session.interface(1).irecv(ANY_SOURCE, 2)
+    data = b"R" * (100 * KB)
+    session.interface(0).isend(1, 2, data)
+    session.run_until_idle()
+    assert recv.done and recv.data == data and recv.peer == 0
+
+
+def test_wildcard_arrival_before_post(plat2):
+    session = Session(plat2, strategy="aggreg_multirail")
+    session.interface(0).isend(1, 3, b"early")
+    session.run_until_idle()
+    recv = session.interface(1).irecv(ANY_SOURCE, 3)
+    session.run_until_idle()
+    assert recv.done and recv.data == b"early" and recv.peer == 0
+
+
+def test_wildcard_preserves_per_source_order(plat2):
+    """Two rails can reorder a peer's packets; wildcard receives must
+    still see that peer's messages in submission order."""
+    session = Session(plat2, strategy="greedy")
+    recvs = [session.interface(1).irecv(ANY_SOURCE, 1) for _ in range(4)]
+    for i in range(4):
+        session.interface(0).isend(1, 1, bytes([i]) * 32)
+    session.run_until_idle()
+    assert [r.data[0] for r in recvs] == [0, 1, 2, 3]
+
+
+def test_wildcard_mixed_sizes(plat2, samples):
+    session = Session(plat2, strategy="split_balance", samples=samples)
+    sizes = [16, 60 * KB, 5, 200 * KB]
+    recvs = [session.interface(1).irecv(ANY_SOURCE, 1) for _ in sizes]
+    for s in sizes:
+        session.interface(0).isend(1, 1, s)
+    session.run_until_idle()
+    assert [r.payload.size for r in recvs] == sizes
+
+
+def test_mpi_any_source_server_pattern():
+    """A rank-0 'server' handles requests from whichever rank calls."""
+    session = Session(paper_platform(n_nodes=4), strategy="aggreg_multirail")
+    comm = Communicator(session)
+    served = []
+
+    def server():
+        ep = comm.endpoint(0)
+        for _ in range(3):
+            req = ep.irecv(ANY_SOURCE, tag=9)
+            yield req.completion
+            served.append(req.peer)
+            yield ep.isend(b"ack-" + req.data, req.peer, tag=10).completion
+        return None
+
+    def client(rank):
+        ep = comm.endpoint(rank)
+        send = ep.isend(bytes([rank]), 0, tag=9)
+        reply = ep.irecv(0, tag=10)
+        yield AllOf([send.completion, reply.completion])
+        assert reply.data == b"ack-" + bytes([rank])
+        return None
+
+    procs = [session.spawn(server(), name="server")]
+    procs += [session.spawn(client(r), name=f"client{r}") for r in (1, 2, 3)]
+    session.run_until_idle()
+    assert all(p.done for p in procs)
+    assert sorted(served) == [1, 2, 3]

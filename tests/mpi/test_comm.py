@@ -1,0 +1,103 @@
+"""Behaviour tests for communicators and endpoints."""
+
+import pytest
+
+from repro import Session, paper_platform
+from repro.mpi import Communicator
+from repro.mpi.comm import MAX_USER_TAG
+from repro.util.errors import ApiError
+
+
+@pytest.fixture()
+def session():
+    return Session(paper_platform(n_nodes=3), strategy="aggreg_multirail")
+
+
+def run_procs(session, *gens):
+    procs = [session.spawn(g) for g in gens]
+    session.run_until_idle()
+    assert all(p.done for p in procs)
+    return procs
+
+
+def test_size_matches_nodes(session):
+    assert Communicator(session).size == 3
+
+
+def test_endpoint_cached_and_validated(session):
+    comm = Communicator(session)
+    assert comm.endpoint(1) is comm.endpoint(1)
+    with pytest.raises(ApiError):
+        comm.endpoint(3)
+    with pytest.raises(ApiError):
+        comm.endpoint(-1)
+
+
+def test_blocking_send_recv(session):
+    comm = Communicator(session)
+    got = {}
+
+    def sender():
+        yield from comm.endpoint(0).send(b"payload", dest=1, tag=4)
+
+    def receiver():
+        payload = yield from comm.endpoint(1).recv(source=0, tag=4)
+        got["data"] = payload.data
+
+    run_procs(session, sender(), receiver())
+    assert got["data"] == b"payload"
+
+
+def test_communicators_isolate_tags(session):
+    """Same user tag on two communicators must not cross-match."""
+    comm_a = Communicator(session, name="A")
+    comm_b = Communicator(session, name="B")
+    got = {}
+
+    def sender():
+        yield comm_a.endpoint(0).isend(b"from A", 1, tag=7).completion
+        yield comm_b.endpoint(0).isend(b"from B", 1, tag=7).completion
+
+    def receiver():
+        # post B's receive first: it must get B's message, not A's
+        payload_b = yield from comm_b.endpoint(1).recv(0, tag=7)
+        payload_a = yield from comm_a.endpoint(1).recv(0, tag=7)
+        got["a"], got["b"] = payload_a.data, payload_b.data
+
+    run_procs(session, sender(), receiver())
+    assert got == {"a": b"from A", "b": b"from B"}
+
+
+def test_dup_gets_fresh_tag_space(session):
+    comm = Communicator(session)
+    dup = comm.dup()
+    assert dup.comm_id != comm.comm_id
+    assert dup.size == comm.size
+
+
+def test_tag_out_of_range(session):
+    comm = Communicator(session)
+    with pytest.raises(ApiError):
+        comm.endpoint(0).isend(b"x", 1, tag=MAX_USER_TAG + 1)
+    with pytest.raises(ApiError):
+        comm.endpoint(0).isend(b"x", 1, tag=-1)
+
+
+def test_self_send_rejected(session):
+    comm = Communicator(session)
+    with pytest.raises(ApiError):
+        comm.endpoint(1).isend(b"x", 1)
+    with pytest.raises(ApiError):
+        comm.endpoint(1).irecv(1)
+
+
+def test_sendrecv_exchanges(session):
+    comm = Communicator(session)
+    got = {}
+
+    def rank(r, peer):
+        payload = yield from comm.endpoint(r).sendrecv(bytes([r]), peer=peer)
+        got[r] = payload.data
+
+    run_procs(session, rank(0, 1), rank(1, 0))
+    assert got == {0: b"\x01", 1: b"\x00"}

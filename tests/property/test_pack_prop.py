@@ -1,0 +1,49 @@
+"""Property-based pack/unpack round-trips through the full engine."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Session, paper_platform
+from repro.api import Packer, Unpacker
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=30_000), min_size=1, max_size=6),
+    st.sampled_from(["aggreg", "greedy", "aggreg_multirail", "split_balance"]),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_pack_unpack_roundtrip_any_segments(segments, strategy):
+    session = Session(paper_platform(), strategy=strategy)
+
+    up = Unpacker(session.interface(1), src=0, tag=2)
+    recvs = [up.unpack() for _ in segments]
+    up.end()
+
+    pk = Packer(session.interface(0), dst=1, tag=2)
+    for data in segments:
+        pk.pack(data)
+    outgoing = pk.end()
+
+    session.run_until_idle()
+    assert outgoing.done
+    assert [r.data for r in recvs] == segments
+
+
+@given(st.lists(st.integers(min_value=1, max_value=5_000_000), min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_virtual_pack_roundtrips_sizes(sizes):
+    session = Session(paper_platform(), strategy="split_balance")
+    up = Unpacker(session.interface(1), src=0, tag=1)
+    recvs = [up.unpack() for _ in sizes]
+    up.end()
+    pk = Packer(session.interface(0), dst=1, tag=1)
+    for size in sizes:
+        pk.pack(size)
+    pk.end()
+    session.run_until_idle()
+    assert [r.payload.size for r in recvs] == sizes

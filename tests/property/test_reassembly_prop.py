@@ -1,0 +1,68 @@
+"""Property-based tests for chunk reassembly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import Payload
+from repro.core.reassembly import ReassemblyBuffer
+
+
+@st.composite
+def partitions(draw):
+    """Random bytes + a random partition into contiguous chunks."""
+    data = draw(st.binary(min_size=1, max_size=4096))
+    n = len(data)
+    n_cuts = draw(st.integers(min_value=0, max_value=min(8, n - 1)))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n - 1),
+                min_size=n_cuts,
+                max_size=n_cuts,
+                unique=True,
+            )
+        )
+        if n > 1
+        else []
+    )
+    bounds = [0] + cuts + [n]
+    chunks = [(bounds[i], data[bounds[i] : bounds[i + 1]]) for i in range(len(bounds) - 1)]
+    return data, chunks
+
+
+@given(partitions(), st.randoms(use_true_random=False))
+@settings(max_examples=300, deadline=None)
+def test_any_arrival_order_reassembles_exactly(partition, rng):
+    data, chunks = partition
+    shuffled = list(chunks)
+    rng.shuffle(shuffled)
+    buf = ReassemblyBuffer(len(data))
+    for i, (offset, piece) in enumerate(shuffled):
+        assert not buf.complete or i == len(shuffled)
+        buf.add(offset, Payload.of(piece))
+    assert buf.complete
+    assert buf.assemble().data == data
+
+
+@given(partitions())
+@settings(max_examples=100, deadline=None)
+def test_received_bytes_is_sum_of_chunks(partition):
+    data, chunks = partition
+    buf = ReassemblyBuffer(len(data))
+    total = 0
+    for offset, piece in chunks:
+        buf.add(offset, Payload.of(piece))
+        total += len(piece)
+        assert buf.received_bytes == total
+    assert buf.missing_bytes == 0
+
+
+@given(partitions())
+@settings(max_examples=100, deadline=None)
+def test_virtual_chunks_preserve_size_only(partition):
+    data, chunks = partition
+    buf = ReassemblyBuffer(len(data))
+    for offset, piece in chunks:
+        buf.add(offset, Payload.virtual(len(piece)))
+    result = buf.assemble()
+    assert result.is_virtual and result.size == len(data)

@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import ScheduleInPastError, SimulationError, Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(5.0, out.append, "late")
+    sim.schedule(1.0, out.append, "early")
+    sim.schedule(3.0, out.append, "mid")
+    sim.run()
+    assert out == ["early", "mid", "late"]
+    assert sim.now == 5.0
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(2.0, out.append, i)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_zero_delay_runs_after_already_queued_same_time():
+    sim = Simulator()
+    out = []
+
+    def first():
+        out.append("first")
+        sim.schedule(0.0, out.append, "chained")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, out.append, "second")
+    sim.run()
+    assert out == ["first", "second", "chained"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ScheduleInPastError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ScheduleInPastError):
+        sim.at(1.0, lambda: None)
+
+
+def test_cancel_pending_event():
+    sim = Simulator()
+    out = []
+    ev = sim.schedule(1.0, out.append, "x")
+    assert ev.alive
+    assert ev.cancel() is True
+    assert not ev.alive
+    sim.run()
+    assert out == []
+
+
+def test_cancel_twice_returns_false():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    assert ev.cancel() is True
+    assert ev.cancel() is False
+
+
+def test_cancel_after_fire_returns_false():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert ev.fired
+    assert ev.cancel() is False
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    out = []
+    sim.schedule(2.0, out.append, "at2")
+    sim.schedule(3.0, out.append, "at3")
+    sim.run(until=2.0)
+    assert out == ["at2"]
+    assert sim.now == 2.0
+    sim.run()
+    assert out == ["at2", "at3"]
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_executed_counts():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 7
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    ev1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    ev1.cancel()
+    assert sim.pending == 1
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    ev1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(4.0, lambda: None)
+    ev1.cancel()
+    assert sim.peek_next_time() == 4.0
+
+
+def test_peek_next_time_empty():
+    assert Simulator().peek_next_time() is None
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_idle_detects_runaway():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=4)
+    assert out == [0, 1, 2, 3]
+
+
+def test_callback_args_passed():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "x")
+    sim.run()
+    assert got == [(1, "x")]
+
+
+def test_cancelled_event_releases_callback_reference():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    assert ev.fn is None and ev.args == ()

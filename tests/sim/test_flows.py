@@ -1,0 +1,186 @@
+"""Unit tests for the max-min fair flow network."""
+
+import pytest
+
+from repro.sim import Flow, FlowError, FlowNetwork, Link, Simulator, max_min_rates
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def mkflow(fid, *links, size=100.0):
+    return Flow(fid, links, size, None, 0.0, 0.0)
+
+
+class TestMaxMinRates:
+    def test_single_flow_gets_path_minimum(self):
+        a, b = Link("a", 1000.0), Link("b", 400.0)
+        f = mkflow(1, a, b)
+        assert max_min_rates([f])[f] == pytest.approx(400.0)
+
+    def test_two_flows_share_common_bottleneck(self):
+        bus = Link("bus", 1000.0)
+        f1, f2 = mkflow(1, bus), mkflow(2, bus)
+        rates = max_min_rates([f1, f2])
+        assert rates[f1] == pytest.approx(500.0)
+        assert rates[f2] == pytest.approx(500.0)
+
+    def test_asymmetric_nic_limits(self):
+        """The paper's exact configuration: 1210 + 860 NICs on a 1850 bus."""
+        bus = Link("bus", 1850.0)
+        mx, elan = Link("mx", 1210.0), Link("elan", 860.0)
+        f_mx, f_elan = mkflow(1, bus, mx), mkflow(2, bus, elan)
+        rates = max_min_rates([f_mx, f_elan])
+        # elan is NIC-bound at 860; mx picks up the remaining bus capacity
+        assert rates[f_elan] == pytest.approx(860.0)
+        assert rates[f_mx] == pytest.approx(990.0)
+
+    def test_conservation_on_every_link(self):
+        bus = Link("bus", 900.0)
+        l1, l2, l3 = Link("1", 500.0), Link("2", 300.0), Link("3", 800.0)
+        flows = [mkflow(1, bus, l1), mkflow(2, bus, l2), mkflow(3, bus, l3)]
+        rates = max_min_rates(flows)
+        for link in (bus, l1, l2, l3):
+            used = sum(r for f, r in rates.items() if link in f.path)
+            assert used <= link.capacity + 1e-6
+
+    def test_empty_flow_list(self):
+        assert max_min_rates([]) == {}
+
+    def test_empty_path_rejected(self):
+        f = Flow(1, (), 10.0, None, 0.0, 0.0)
+        with pytest.raises(FlowError):
+            max_min_rates([f])
+
+    def test_capacity_override(self):
+        a = Link("a", 1000.0)
+        f = mkflow(1, a)
+        rates = max_min_rates([f], capacities={a: 100.0})
+        assert rates[f] == pytest.approx(100.0)
+
+
+class TestFlowNetwork:
+    def test_single_flow_completion_time(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)  # 100 B/us
+        done = []
+        net.start_flow([link], 1000.0, on_complete=lambda f: done.append(sim.now))
+        sim.run_until_idle()
+        assert done == [pytest.approx(10.0)]
+        assert net.completed_count == 1
+        assert net.total_bytes_completed == pytest.approx(1000.0)
+
+    def test_extra_latency_delays_completion_only(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)
+        drained, completed = [], []
+        net.start_flow(
+            [link],
+            1000.0,
+            on_complete=lambda f: completed.append(sim.now),
+            on_drain=lambda f: drained.append(sim.now),
+            extra_latency=2.5,
+        )
+        sim.run_until_idle()
+        assert drained == [pytest.approx(10.0)]
+        assert completed == [pytest.approx(12.5)]
+
+    def test_second_flow_speeds_up_after_first_drains(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)
+        done = {}
+        net.start_flow([link], 500.0, on_complete=lambda f: done.setdefault("a", sim.now))
+        net.start_flow([link], 1000.0, on_complete=lambda f: done.setdefault("b", sim.now))
+        sim.run_until_idle()
+        # both at 50 B/us until a drains at t=10; b then finishes its
+        # remaining 500 B at 100 B/us -> t = 10 + 5
+        assert done["a"] == pytest.approx(10.0)
+        assert done["b"] == pytest.approx(15.0)
+
+    def test_flow_joining_midway_shares_fairly(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)
+        done = {}
+        net.start_flow([link], 1000.0, on_complete=lambda f: done.setdefault("a", sim.now))
+        sim.run(until=5.0)  # a has moved 500 B
+        net.start_flow([link], 250.0, on_complete=lambda f: done.setdefault("b", sim.now))
+        sim.run_until_idle()
+        # from t=5 both at 50: b finishes at t=10; a has 250 left, full rate
+        assert done["b"] == pytest.approx(10.0)
+        assert done["a"] == pytest.approx(12.5)
+
+    def test_zero_size_flow_completes_after_latency(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)
+        done, drained = [], []
+        net.start_flow(
+            [link],
+            0.0,
+            on_complete=lambda f: done.append(sim.now),
+            on_drain=lambda f: drained.append(sim.now),
+            extra_latency=3.0,
+        )
+        sim.run_until_idle()
+        assert done == [3.0]
+        assert drained == [0.0]
+        assert link.active_flows == set()
+
+    def test_negative_size_rejected(self, sim):
+        net = FlowNetwork(sim)
+        with pytest.raises(FlowError):
+            net.start_flow([Link("l", 10.0)], -1.0)
+
+    def test_cancel_flow(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)
+        done = []
+        flow = net.start_flow([link], 1000.0, on_complete=lambda f: done.append(1))
+        other = net.start_flow([link], 1000.0, on_complete=lambda f: done.append(2))
+        sim.run(until=2.0)
+        net.cancel_flow(flow)
+        assert flow.done
+        sim.run_until_idle()
+        assert done == [2]
+        # the survivor sped up: 100 B at t=2, 900 left at full rate
+        assert sim.now == pytest.approx(11.0)
+
+    def test_cancel_completed_flow_is_noop(self, sim):
+        net = FlowNetwork(sim)
+        flow = net.start_flow([Link("l", 100.0)], 10.0)
+        sim.run_until_idle()
+        net.cancel_flow(flow)  # no exception
+        assert flow.done
+
+    def test_transferred_accounting(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)
+        flow = net.start_flow([link], 1000.0)
+        sim.run(until=4.0)
+        net._settle()
+        assert flow.transferred == pytest.approx(400.0)
+        assert flow.remaining == pytest.approx(600.0)
+
+    def test_utilization(self, sim):
+        net = FlowNetwork(sim)
+        link = Link("l", 100.0)
+        net.start_flow([link], 1000.0)
+        assert link.utilization == pytest.approx(1.0)
+
+    def test_bad_link_capacity_rejected(self):
+        with pytest.raises(FlowError):
+            Link("bad", 0.0)
+
+    def test_paper_bus_contention_end_to_end(self, sim):
+        """Two DMA streams on one bus: aggregate bounded by the bus."""
+        net = FlowNetwork(sim)
+        bus = Link("bus", 1850.0)
+        mx, elan = Link("mx", 1210.0), Link("elan", 860.0)
+        done = {}
+        size = 4_000_000.0
+        net.start_flow([bus, mx], size, on_complete=lambda f: done.setdefault("mx", sim.now))
+        net.start_flow([bus, elan], size, on_complete=lambda f: done.setdefault("elan", sim.now))
+        sim.run_until_idle()
+        total_bw = 2 * size / max(done.values())
+        assert 1600 <= total_bw <= 1850

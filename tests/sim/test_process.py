@@ -1,0 +1,251 @@
+"""Unit tests for generator processes, signals and combinators."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Process,
+    ProcessError,
+    Signal,
+    Simulator,
+    Timeout,
+    spawn,
+)
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield Timeout(3.0)
+        seen.append(sim.now)
+        yield Timeout(2.0)
+        seen.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert seen == [3.0, 5.0]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ProcessError):
+        Timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.done and p.value == 42
+
+
+def test_spawn_delay():
+    sim = Simulator()
+    start = []
+
+    def proc():
+        start.append(sim.now)
+        yield Timeout(0.0)
+
+    spawn(sim, proc(), delay=7.5)
+    sim.run()
+    assert start == [7.5]
+
+
+def test_signal_wakes_all_waiters_once():
+    sim = Simulator()
+    sig = Signal(sim)
+    woken = []
+
+    def proc(name):
+        value = yield sig
+        woken.append((name, value, sim.now))
+
+    spawn(sim, proc("a"))
+    spawn(sim, proc("b"))
+    sig.fire_later(4.0, "payload")
+    sim.run()
+    assert woken == [("a", "payload", 4.0), ("b", "payload", 4.0)]
+    assert sig.fire_count == 1
+    assert sig.waiter_count == 0
+
+
+def test_signal_late_waiter_misses_past_fire():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.fire()
+    got = []
+
+    def proc():
+        got.append((yield sig))
+
+    spawn(sim, proc())
+    sig.fire_later(2.0, "second")
+    sim.run()
+    assert got == ["second"]
+
+
+def test_signal_unwait():
+    sim = Simulator()
+    sig = Signal(sim)
+    calls = []
+    cb = calls.append
+    sig.wait(cb)
+    sig.unwait(cb)
+    sig.unwait(cb)  # no-op when absent
+    assert sig.fire("x") == 0
+    assert calls == []
+
+
+def test_wait_on_child_process():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield Timeout(5.0)
+        order.append("child")
+        return "result"
+
+    def parent():
+        c = spawn(sim, child())
+        value = yield c
+        order.append(("parent", value, sim.now))
+
+    spawn(sim, parent())
+    sim.run()
+    assert order == ["child", ("parent", "result", 5.0)]
+
+
+def test_wait_on_already_done_process():
+    sim = Simulator()
+
+    def child():
+        return "done"
+        yield  # pragma: no cover
+
+    def parent():
+        c = spawn(sim, child())
+        yield Timeout(10.0)  # child finishes long before
+        value = yield c
+        return value
+
+    p = spawn(sim, parent())
+    sim.run()
+    assert p.value == "done"
+
+
+def test_allof_gathers_results_in_order():
+    sim = Simulator()
+    sig = Signal(sim)
+
+    def proc():
+        results = yield AllOf([Timeout(5.0), sig, Timeout(1.0)])
+        return results
+
+    p = spawn(sim, proc())
+    sig.fire_later(3.0, "sig-value")
+    sim.run()
+    assert p.value == [None, "sig-value", None]
+    assert sim.now == 5.0
+
+
+def test_anyof_returns_first():
+    sim = Simulator()
+
+    def proc():
+        index, value = yield AnyOf([Timeout(9.0), Timeout(2.0)])
+        return (index, sim.now)
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.value == (1, 2.0)
+
+
+def test_anyof_ignores_later_completions():
+    sim = Simulator()
+    sig = Signal(sim)
+
+    def proc():
+        got = yield AnyOf([sig, Timeout(1.0)])
+        yield Timeout(10.0)
+        return got
+
+    p = spawn(sim, proc())
+    sig.fire_later(5.0, "late")  # fires after the timeout already won
+    sim.run()
+    assert p.value == (1, None)
+
+
+def test_empty_combinators_rejected():
+    with pytest.raises(ProcessError):
+        AllOf([])
+    with pytest.raises(ProcessError):
+        AnyOf([])
+
+
+def test_bad_yield_value_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "nonsense"
+
+    spawn(sim, proc())
+    with pytest.raises(ProcessError):
+        sim.run()
+
+
+def test_on_done_after_completion_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 5
+
+    p = spawn(sim, proc())
+    sim.run()
+    got = []
+    p.on_done(got.append)
+    assert got == [5]
+
+
+def test_process_cannot_start_twice():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    p = Process(sim, proc())
+    p._start()
+    with pytest.raises(ProcessError):
+        p._start()
+
+
+def test_nested_allof():
+    sim = Simulator()
+
+    def proc():
+        res = yield AllOf([AllOf([Timeout(1.0), Timeout(2.0)]), Timeout(3.0)])
+        return (res, sim.now)
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.value == ([[None, None], None], 3.0)
+
+
+def test_exception_in_process_propagates():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    spawn(sim, proc())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()

@@ -1,0 +1,108 @@
+"""Unit tests for counted resources and FIFO stores."""
+
+import pytest
+
+from repro.sim import Resource, ResourceError, Simulator, Store
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_acquire_when_free_is_immediate(self, sim):
+        res = Resource(sim, capacity=2)
+        got = []
+        res.acquire(lambda: got.append(1))
+        res.acquire(lambda: got.append(2))
+        assert got == [1, 2]
+        assert res.in_use == 2 and res.available == 0
+
+    def test_acquire_queues_when_full(self, sim):
+        res = Resource(sim, capacity=1)
+        got = []
+        res.acquire(lambda: got.append("a"))
+        res.acquire(lambda: got.append("b"))
+        assert got == ["a"]
+        assert res.queued == 1
+        res.release()
+        assert got == ["a", "b"]
+        assert res.in_use == 1  # slot handed over, not freed
+
+    def test_fifo_handoff_order(self, sim):
+        res = Resource(sim, capacity=1)
+        got = []
+        res.acquire(lambda: got.append(0))
+        for i in (1, 2, 3):
+            res.acquire(lambda i=i: got.append(i))
+        for _ in range(3):
+            res.release()
+        assert got == [0, 1, 2, 3]
+
+    def test_try_acquire(self, sim):
+        res = Resource(sim, capacity=1)
+        assert res.try_acquire() is True
+        assert res.try_acquire() is False
+        res.release()
+        assert res.try_acquire() is True
+
+    def test_release_idle_raises(self, sim):
+        with pytest.raises(ResourceError):
+            Resource(sim).release()
+
+    def test_bad_capacity_rejected(self, sim):
+        with pytest.raises(ResourceError):
+            Resource(sim, capacity=0)
+
+    def test_release_without_waiters_frees_slot(self, sim):
+        res = Resource(sim, capacity=1)
+        assert res.try_acquire()
+        res.release()
+        assert res.in_use == 0 and res.available == 1
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        got = []
+        store.get(got.append)
+        assert got == ["x"]
+        assert len(store) == 0
+
+    def test_get_then_put_wakes_getter(self, sim):
+        store = Store(sim)
+        got = []
+        store.get(got.append)
+        assert store.waiting_getters == 1
+        store.put("y")
+        assert got == ["y"]
+        assert store.waiting_getters == 0
+
+    def test_fifo_items_and_getters(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        got = []
+        store.get(got.append)
+        store.get(got.append)
+        assert got == [1, 2]
+        store.get(lambda v: got.append(("late", v)))
+        store.get(lambda v: got.append(("later", v)))
+        store.put("a")
+        store.put("b")
+        assert got == [1, 2, ("late", "a"), ("later", "b")]
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.put(9)
+        assert store.try_get() == (True, 9)
+
+    def test_peek_does_not_remove(self, sim):
+        store = Store(sim)
+        assert store.peek() is None
+        store.put("p")
+        assert store.peek() == "p"
+        assert len(store) == 1

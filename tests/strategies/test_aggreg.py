@@ -1,0 +1,66 @@
+"""Behaviour tests for opportunistic aggregation (§3 / Figs 2-3)."""
+
+import pytest
+
+from repro import Session, run_pingpong
+from repro.util.units import KB
+
+
+def test_small_segments_aggregate(mx_plat):
+    session = Session(mx_plat, strategy="aggreg")
+    run_pingpong(session, 1024, segments=4, reps=2, warmup=1)
+    c = session.counters()
+    assert c["aggregated_packets"] > 0
+    assert c["aggregated_segments"] >= 4
+
+
+def test_aggregation_beats_plain_multiseg_latency(mx_plat):
+    agg = run_pingpong(Session(mx_plat, strategy="aggreg"), 256, segments=4)
+    plain = run_pingpong(Session(mx_plat, strategy="single_rail"), 256, segments=4)
+    assert agg.one_way_us < plain.one_way_us
+
+
+def test_aggregated_close_to_regular(mx_plat):
+    """Paper: "the overhead incurred by memory copies is very low"."""
+    agg = run_pingpong(Session(mx_plat, strategy="aggreg"), 64, segments=2)
+    regular = run_pingpong(Session(mx_plat, strategy="single_rail"), 64, segments=1)
+    assert agg.one_way_us <= regular.one_way_us * 1.15
+
+
+def test_respects_eager_packet_limit(mx_plat):
+    """Two 12K segments cannot share a 16K eager packet."""
+    session = Session(mx_plat, strategy="aggreg")
+    run_pingpong(session, 24 * KB, segments=2, reps=1, warmup=0)
+    assert session.counters()["aggregated_packets"] == 0
+
+
+def test_aggregates_exactly_what_fits(mx_plat):
+    """Three 4K segments fit one 16K eager packet; a fourth would not."""
+    session = Session(mx_plat, strategy="aggreg")
+    iface = session.interface(0)
+    recvs = [session.interface(1).irecv(0, 1) for _ in range(4)]
+    for _ in range(4):
+        iface.isend(1, 1, 4 * KB)
+    session.run_until_idle()
+    assert all(r.done for r in recvs)
+    eng = session.engine(0)
+    # first packet carries 3 segments (3*(4096+16)+... <= 16384), 4th alone
+    assert eng.counters["aggregated_segments"] == 3
+    assert eng.drivers[0].eager_posted == 2
+
+
+def test_large_segments_not_aggregated(mx_plat):
+    session = Session(mx_plat, strategy="aggreg")
+    run_pingpong(session, 200 * KB, segments=2, reps=1, warmup=0)
+    assert session.counters()["aggregated_packets"] == 0
+    assert session.engine(0).drivers[0].dma_started == 2
+
+
+def test_data_integrity_with_aggregation(mx_plat):
+    session = Session(mx_plat, strategy="aggreg")
+    payloads = [bytes([i]) * 100 for i in range(5)]
+    recvs = [session.interface(1).irecv(0, 2) for _ in payloads]
+    for p in payloads:
+        session.interface(0).isend(1, 2, p)
+    session.run_until_idle()
+    assert [r.data for r in recvs] == payloads

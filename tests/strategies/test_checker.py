@@ -1,0 +1,102 @@
+"""Tests for the strategy contract checker."""
+
+import pytest
+
+from repro import Session, run_pingpong
+from repro.core.gate import Segment
+from repro.core.packet import EagerEntry, Payload
+from repro.core.strategies import CheckedStrategy, GreedyStrategy, available_strategies
+from repro.util.errors import StrategyError
+from repro.util.units import KB, MB
+
+
+@pytest.mark.parametrize("inner", sorted(set(available_strategies()) - {"checked"}))
+def test_every_builtin_strategy_passes_the_checker(plat2, inner, samples):
+    opts = {}
+    session = Session(
+        plat2,
+        strategy=CheckedStrategy.wrapping(inner),
+        samples=samples if inner == "split_balance" else None,
+    )
+    run_pingpong(session, 1024, segments=4, reps=2)
+    run_pingpong(session, 2 * MB, segments=2, reps=1)
+    for engine in session.engines:
+        engine.strategy.assert_drained()
+
+
+def test_checker_reports_inner_name(plat2):
+    session = Session(plat2, strategy=CheckedStrategy.wrapping("greedy"))
+    assert session.engine(0).strategy.name == "checked(greedy)"
+
+
+def test_checker_catches_wrong_rail_binding(plat2):
+    class WrongRail(GreedyStrategy):
+        name = "wrong_rail"
+
+        def try_and_commit(self, engine, driver):
+            pw = super().try_and_commit(engine, driver)
+            if pw is not None:
+                pw.rail_index = (pw.rail_index + 1) % engine.platform.n_rails
+            return pw
+
+    session = Session(plat2, strategy=CheckedStrategy.wrapping(WrongRail))
+    session.interface(0).isend(1, 1, b"x")
+    with pytest.raises(StrategyError, match="bound to rail"):
+        session.run_until_idle()
+
+
+def test_checker_catches_oversized_wrapper(plat2):
+    class Oversized(GreedyStrategy):
+        name = "oversized"
+
+        def try_and_commit(self, engine, driver):
+            pw = super().try_and_commit(engine, driver)
+            if pw is not None and pw.data_entries:
+                pw.add(EagerEntry(tag=99, seq=0, payload=Payload.virtual(64 * KB)))
+            return pw
+
+    session = Session(plat2, strategy=CheckedStrategy.wrapping(Oversized))
+    session.interface(0).isend(1, 1, b"x")
+    with pytest.raises(StrategyError, match="eager limit"):
+        session.run_until_idle()
+
+
+def test_checker_catches_invented_requests(plat2):
+    from repro.core.request import SendRequest
+
+    class Inventor(GreedyStrategy):
+        name = "inventor"
+
+        def try_and_commit(self, engine, driver):
+            pw = super().try_and_commit(engine, driver)
+            if pw is not None and pw.send_requests:
+                pw.send_requests.append(
+                    SendRequest(engine.sim, 1, 0, 0, Payload.virtual(1))
+                )
+            return pw
+
+    session = Session(plat2, strategy=CheckedStrategy.wrapping(Inventor))
+    session.interface(0).isend(1, 1, b"x")
+    with pytest.raises(StrategyError):
+        session.run_until_idle()
+
+
+def test_checker_catches_dropped_segments(plat2):
+    class BlackHole(GreedyStrategy):
+        name = "black_hole"
+
+        def pack(self, engine, segment):
+            pass  # silently discards everything
+
+    session = Session(plat2, strategy=CheckedStrategy.wrapping(BlackHole))
+    session.interface(0).isend(1, 1, b"x")
+    session.run_until_idle()
+    with pytest.raises(StrategyError, match="still holds"):
+        session.engine(0).strategy.assert_drained()
+
+
+def test_factory_returning_non_strategy_rejected():
+    from repro.core.strategies import make_strategy
+
+    with pytest.raises(StrategyError, match="not a Strategy"):
+        make_strategy(lambda: object())

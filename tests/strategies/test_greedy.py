@@ -1,0 +1,74 @@
+"""Behaviour tests for greedy multi-rail balancing (§3.2 / Figs 4-5)."""
+
+import pytest
+
+from repro import Session, run_pingpong
+from repro.util.units import KB, MB
+
+
+def test_two_large_segments_use_both_rails(plat2):
+    session = Session(plat2, strategy="greedy")
+    run_pingpong(session, 8 * MB, segments=2, reps=1, warmup=0)
+    eng = session.engine(0)
+    assert eng.drivers[0].dma_started >= 1
+    assert eng.drivers[1].dma_started >= 1
+
+
+def test_small_segments_spread_without_aggregation(plat2):
+    session = Session(plat2, strategy="greedy")
+    run_pingpong(session, 128, segments=2, reps=2, warmup=0)
+    eng = session.engine(0)
+    assert session.counters()["aggregated_packets"] == 0
+    # "sends the two segments simultaneously over separate networks"
+    assert eng.drivers[0].eager_posted > 0
+    assert eng.drivers[1].eager_posted > 0
+
+
+def test_aggregated_bandwidth_beats_best_single(plat2):
+    greedy = run_pingpong(Session(plat2, strategy="greedy"), 4 * MB, segments=2, reps=2)
+    single = run_pingpong(
+        Session(plat2, strategy="aggreg", strategy_opts={"rail": "myri10g"}),
+        4 * MB,
+        segments=2,
+        reps=2,
+    )
+    assert greedy.bandwidth_MBps > 1.3 * single.bandwidth_MBps
+
+
+def test_no_gain_below_pio_threshold(plat2):
+    """Both PIO copies serialize on the CPU: no multi-rail benefit."""
+    greedy = run_pingpong(Session(plat2, strategy="greedy"), 4 * KB, segments=2)
+    best_single = min(
+        run_pingpong(
+            Session(plat2, strategy="aggreg", strategy_opts={"rail": name}),
+            4 * KB,
+            segments=2,
+        ).one_way_us
+        for name in ("myri10g", "qsnet2")
+    )
+    assert greedy.one_way_us >= best_single * 0.98
+
+
+def test_peak_aggregate_close_to_paper(plat2):
+    """Paper reports 1675 MB/s for the greedy strategy."""
+    res = run_pingpong(Session(plat2, strategy="greedy"), 8 * MB, segments=2, reps=2)
+    assert res.bandwidth_MBps == pytest.approx(1675.0, rel=0.08)
+
+
+def test_four_segments_still_aggregate_bandwidth(plat2):
+    """Fig 5: "the bandwidth achieved is still interestingly rather high"."""
+    res = run_pingpong(Session(plat2, strategy="greedy"), 8 * MB, segments=4, reps=2)
+    assert res.bandwidth_MBps > 1500
+
+
+def test_backlog_drains(plat2):
+    session = Session(plat2, strategy="greedy")
+    recvs = [session.interface(1).irecv(0, 1) for _ in range(6)]
+    for _ in range(6):
+        session.interface(0).isend(1, 1, 100_000)
+    session.run_until_idle()
+    assert all(r.done for r in recvs)
+    assert session.engine(0).strategy.backlog == 0
+    # all six rendezvous completed somewhere
+    eng = session.engine(0)
+    assert eng.drivers[0].dma_started + eng.drivers[1].dma_started == 6

@@ -1,0 +1,82 @@
+"""Unit tests for the strategy registry."""
+
+import pytest
+
+from repro.core.strategies import (
+    GreedyStrategy,
+    Strategy,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+    strategy_class,
+)
+from repro.util.errors import StrategyError
+
+
+def test_all_paper_strategies_registered():
+    names = available_strategies()
+    for expected in ("single_rail", "aggreg", "greedy", "aggreg_multirail", "split_balance"):
+        assert expected in names
+
+
+def test_make_by_name_returns_fresh_instances():
+    a = make_strategy("greedy")
+    b = make_strategy("greedy")
+    assert isinstance(a, GreedyStrategy) and a is not b
+
+
+def test_make_with_options():
+    s = make_strategy("single_rail", rail="qsnet2")
+    assert s._rail_opt == "qsnet2"
+
+
+def test_make_from_class():
+    assert isinstance(make_strategy(GreedyStrategy), GreedyStrategy)
+
+
+def test_make_from_instance_passthrough():
+    inst = GreedyStrategy()
+    assert make_strategy(inst) is inst
+
+
+def test_instance_with_options_rejected():
+    with pytest.raises(StrategyError):
+        make_strategy(GreedyStrategy(), rail=0)
+
+
+def test_unknown_name():
+    with pytest.raises(StrategyError, match="unknown strategy"):
+        make_strategy("quantum")
+    with pytest.raises(StrategyError):
+        strategy_class("quantum")
+
+
+def test_bad_spec_type():
+    with pytest.raises(StrategyError):
+        make_strategy(3.14)
+
+
+def test_register_duplicate_rejected():
+    with pytest.raises(StrategyError):
+        register_strategy("greedy", GreedyStrategy)
+
+
+def test_register_requires_strategy_subclass():
+    with pytest.raises(StrategyError):
+        register_strategy("bogus", dict)
+
+
+def test_register_custom_strategy_with_overwrite():
+    class MyStrategy(GreedyStrategy):
+        name = "my_greedy"
+
+    register_strategy("my_greedy_test", MyStrategy)
+    try:
+        assert isinstance(make_strategy("my_greedy_test"), MyStrategy)
+        register_strategy("my_greedy_test", GreedyStrategy, overwrite=True)
+        assert isinstance(make_strategy("my_greedy_test"), GreedyStrategy)
+    finally:
+        # keep the global registry clean for other tests
+        from repro.core.strategies.registry import _REGISTRY
+
+        _REGISTRY.pop("my_greedy_test", None)

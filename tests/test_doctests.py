@@ -1,0 +1,30 @@
+"""Run the doctest examples embedded in module docstrings.
+
+The executable examples in the docs are part of the public contract;
+this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.packet
+import repro.sim.engine
+import repro.util.tables
+import repro.util.units
+from repro.bench import pingpong
+
+DOCTESTED_MODULES = [
+    repro.sim.engine,
+    repro.util.units,
+    repro.util.tables,
+    repro.core.packet,
+    pingpong,
+]
+
+
+@pytest.mark.parametrize("module", DOCTESTED_MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"

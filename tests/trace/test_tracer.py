@@ -1,0 +1,134 @@
+"""Unit tests for counters, tracing and usage summaries."""
+
+import pytest
+
+from repro import Session, run_pingpong
+from repro.trace import Counters, Tracer, commit_timeline, rail_byte_shares, rail_usage_table
+from repro.util.units import MB
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("x")
+        c.add("x", 4)
+        assert c["x"] == 5
+        assert c["missing"] == 0
+
+    def test_snapshot_is_copy(self):
+        c = Counters()
+        c.add("x")
+        snap = c.snapshot()
+        c.add("x")
+        assert snap == {"x": 1} and c["x"] == 2
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        a.add("y", 2)
+        b.add("x", 10)
+        merged = a.merge(b)
+        assert merged["x"] == 11 and merged["y"] == 2
+        assert a["x"] == 1  # originals untouched
+
+    def test_iteration_sorted(self):
+        c = Counters()
+        c.add("zebra")
+        c.add("alpha")
+        assert [k for k, _ in c] == ["alpha", "zebra"]
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record(1.0, 0, "cat", "detail")
+        assert len(t) == 0
+
+    def test_enabled_records_and_filters(self):
+        t = Tracer(enabled=True)
+        t.record(1.0, 0, "commit", "a")
+        t.record(2.0, 1, "poll", "b")
+        t.record(3.0, 0, "commit", "c")
+        assert len(t) == 3
+        assert [e.detail for e in t.by_category("commit")] == ["a", "c"]
+        assert [e.detail for e in t.by_node(1)] == ["b"]
+        t.clear()
+        assert len(t) == 0
+
+
+class TestUsageSummaries:
+    def test_rail_usage_table_rows(self, plat2):
+        session = Session(plat2, strategy="greedy")
+        run_pingpong(session, 4096, segments=2, reps=1)
+        table = rail_usage_table(session)
+        assert len(table.rows) == 4  # 2 nodes x 2 rails
+        assert table.column("rail") == ["qsnet2", "myri10g"] * 2 or table.column(
+            "rail"
+        ) == ["myri10g", "qsnet2"] * 2
+
+    def test_rail_byte_shares_sum_to_one(self, plat2, samples):
+        session = Session(plat2, strategy="split_balance", samples=samples)
+        run_pingpong(session, 8 * MB, reps=1)
+        shares = rail_byte_shares(session, node_id=0)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["myri10g"] > shares["qsnet2"]
+
+    def test_rail_byte_shares_idle_session(self, plat2):
+        session = Session(plat2)
+        shares = rail_byte_shares(session)
+        assert shares == {"myri10g": 0.0, "qsnet2": 0.0}
+
+    def test_commit_timeline_requires_trace(self, plat2):
+        traced = Session(plat2, strategy="aggreg_multirail", trace=True)
+        run_pingpong(traced, 64, reps=1, warmup=0)
+        events = commit_timeline(traced)
+        assert events, "traced session recorded no commits"
+        times = [t for t, _, _ in events]
+        assert times == sorted(times)
+        untraced = Session(plat2)
+        run_pingpong(untraced, 64, reps=1, warmup=0)
+        assert commit_timeline(untraced) == []
+
+
+class TestGantt:
+    def test_busy_intervals_recorded(self, plat2):
+        from repro.trace import busy_intervals
+
+        session = Session(plat2, strategy="greedy", trace=True)
+        run_pingpong(session, 256 * 1024, segments=2, reps=1, warmup=0)
+        intervals = busy_intervals(session, 0)
+        assert set(intervals) == {"myri10g", "qsnet2"}
+        for rail, ivs in intervals.items():
+            for start, end, kind in ivs:
+                assert end >= start >= 0
+                assert kind in ("pio", "dma")
+        # large segments moved by DMA on both rails
+        kinds = {k for ivs in intervals.values() for _s, _e, k in ivs}
+        assert "dma" in kinds and "pio" in kinds  # pio = rdv control packets
+
+    def test_gantt_renders_lanes(self, plat2):
+        from repro.trace import gantt
+
+        session = Session(plat2, strategy="greedy", trace=True)
+        run_pingpong(session, 512 * 1024, segments=2, reps=1, warmup=0)
+        text = gantt(session, 0, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("myri10g") or lines[0].startswith("qsnet2")
+        assert "=" in text  # DMA marks
+        assert "us" in lines[-1]
+
+    def test_gantt_without_trace(self, plat2):
+        from repro.trace import gantt
+
+        session = Session(plat2, strategy="greedy")
+        run_pingpong(session, 1024, reps=1, warmup=0)
+        assert "trace=True" in gantt(session, 0)
+
+    def test_pio_intervals_only_below_threshold(self, mx_plat):
+        from repro.trace import busy_intervals
+
+        session = Session(mx_plat, strategy="single_rail", trace=True)
+        run_pingpong(session, 100, reps=1, warmup=0)
+        intervals = busy_intervals(session, 0)
+        kinds = {k for ivs in intervals.values() for _s, _e, k in ivs}
+        assert kinds == {"pio"}

@@ -1,0 +1,103 @@
+"""Unit tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.util.asciiplot import AsciiPlot
+from repro.util.errors import ConfigError
+
+
+def simple_plot(**kw):
+    plot = AsciiPlot(width=40, height=10, **kw)
+    plot.add_series("up", [1, 10, 100], [1.0, 10.0, 100.0])
+    return plot
+
+
+def test_render_contains_markers_and_legend():
+    text = simple_plot(y_log=True).render()
+    assert "o = up" in text
+    assert text.count("o") >= 3 + 1  # three points + legend
+
+
+def test_distinct_markers_per_series():
+    plot = simple_plot()
+    plot.add_series("down", [1, 10, 100], [100.0, 10.0, 1.0])
+    text = plot.render()
+    assert "o = up" in text and "x = down" in text
+
+
+def test_custom_marker():
+    plot = AsciiPlot(width=40, height=8)
+    plot.add_series("s", [1, 2], [1, 2], marker="@")
+    assert "@ = s" in plot.render()
+
+
+def test_title_and_y_label():
+    plot = AsciiPlot(width=40, height=8, title="My plot", y_label="MB/s")
+    plot.add_series("s", [1, 2], [1, 2])
+    lines = plot.render().splitlines()
+    assert lines[0] == "My plot"
+    assert "MB/s" in lines[1]
+
+
+def test_log_y_positions_are_monotone():
+    """In log-log, a power-law series lands on a straight-ish diagonal."""
+    plot = AsciiPlot(width=40, height=10, y_log=True)
+    plot.add_series("s", [1, 10, 100, 1000], [1.0, 10.0, 100.0, 1000.0])
+    body = [l for l in plot.render().splitlines() if "|" in l]
+    cols = {}
+    for row, line in enumerate(body):
+        for col, ch in enumerate(line):
+            if ch == "o":
+                cols[row] = col
+    rows = sorted(cols)
+    # top row = highest y = largest x, so columns shrink going down
+    assert [cols[r] for r in rows] == sorted(cols.values(), reverse=True)
+
+
+def test_size_ticks_power_of_two():
+    plot = AsciiPlot(width=40, height=8, x_log=True)
+    plot.add_series("s", [32 * 1024, 8 * 1024 * 1024], [1, 2])
+    tick_line = plot.render().splitlines()[-2]
+    assert "32K" in tick_line and "8M" in tick_line
+
+
+def test_empty_plot_rejected():
+    with pytest.raises(ConfigError):
+        AsciiPlot().render()
+
+
+def test_mismatched_series_rejected():
+    with pytest.raises(ConfigError):
+        AsciiPlot().add_series("s", [1, 2], [1])
+
+
+def test_all_none_series_rejected():
+    with pytest.raises(ConfigError):
+        AsciiPlot().add_series("s", [1], [None])
+
+
+def test_log_axis_rejects_non_positive():
+    plot = AsciiPlot(x_log=True)
+    plot.add_series("s", [0, 1], [1, 2])
+    with pytest.raises(ConfigError):
+        plot.render()
+
+
+def test_too_small_rejected():
+    with pytest.raises(ConfigError):
+        AsciiPlot(width=4, height=2)
+
+
+def test_constant_series_does_not_crash():
+    plot = AsciiPlot(width=40, height=8, x_log=False)
+    plot.add_series("flat", [1, 2, 3], [5.0, 5.0, 5.0])
+    assert "flat" in plot.render()
+
+
+def test_figure_plot_integration():
+    from repro.bench import run_figure
+
+    result = run_figure("fig2b", sizes=[65536, 1048576], reps=1)
+    text = result.plot(width=50, height=10)
+    assert "fig2b" in text
+    assert "regular" in text

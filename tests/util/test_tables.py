@@ -1,0 +1,74 @@
+"""Unit tests for text table rendering."""
+
+import pytest
+
+from repro.util.tables import Table, render_csv, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["size", "lat"], [[4, 2.8], [32768, 12.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("size")
+        assert set(lines[1]) <= {"-", "+"}
+        assert lines[2].endswith("2.80")
+        # data rows are right-aligned to the separator width
+        assert len(lines[2]) == len(lines[1])
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_none_renders_dash(self):
+        text = render_table(["a", "b"], [[1, None]])
+        assert text.splitlines()[-1].endswith("-")
+
+    def test_precision(self):
+        text = render_table(["x"], [[3.14159]], precision=4)
+        assert "3.1416" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderCsv:
+    def test_csv_layout(self):
+        text = render_csv(["size", "bw"], [[4, 2.0], [8, 3.5]])
+        assert text.splitlines() == ["size,bw", "4,2.0000", "8,3.5000"]
+
+    def test_none_cell(self):
+        assert render_csv(["a"], [[None]]).splitlines()[1] == "-"
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        t = Table(["size", "lat"], title="T")
+        t.add_row(4, 2.8)
+        t.add_row(8, 2.9)
+        assert "T" in t.render()
+        assert str(t) == t.render()
+
+    def test_column_extraction(self):
+        t = Table(["size", "lat"])
+        t.add_row(4, 2.8)
+        t.add_row(8, 2.9)
+        assert t.column("lat") == [2.8, 2.9]
+        assert t.column("size") == [4, 8]
+
+    def test_unknown_column(self):
+        with pytest.raises(ValueError):
+            Table(["a"]).column("b")
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"]).add_row(1)
+
+    def test_to_csv(self):
+        t = Table(["a"])
+        t.add_row(1)
+        assert t.to_csv().splitlines()[0] == "a"
