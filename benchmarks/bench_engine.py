@@ -57,6 +57,23 @@ def test_pingpong_simulation_cost(benchmark):
     assert result.bandwidth_MBps > 1000
 
 
+def test_traced_pingpong_simulation_cost(benchmark):
+    """Same ping-pong with span tracing on — tracks the observability tax.
+
+    Compare against ``test_pingpong_simulation_cost``: spans + per-request
+    bookkeeping should stay well under 2x the untraced run.
+    """
+
+    def run():
+        session = Session(paper_platform(), strategy="greedy", trace=True)
+        res = run_pingpong(session, 1 * MB, segments=2, reps=2, warmup=1)
+        return res, len(session.spans)
+
+    result, n_spans = benchmark(run)
+    assert result.bandwidth_MBps > 1000
+    assert n_spans > 0
+
+
 def test_small_message_simulation_cost(benchmark):
     """Latency-regime ping-pong: many sweeps, no flows."""
 

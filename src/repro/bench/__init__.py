@@ -14,6 +14,7 @@ from .flood import FloodResult, run_flood
 from .pingpong import BENCH_TAG, PingPongResult, run_pingpong, split_even
 from .reporting import report_figure, report_table, write_reports
 from .sweep import Curve, SweepResult, run_sweep, sweep_table
+from .tracing import TRACE_TARGETS, TraceTarget, resolve_trace_target, run_traced
 
 __all__ = [
     "run_pingpong",
@@ -41,4 +42,8 @@ __all__ = [
     "ext_rail_scaling",
     "ext_heterogeneous_mix",
     "ext_parallel_pio_latency",
+    "TraceTarget",
+    "TRACE_TARGETS",
+    "resolve_trace_target",
+    "run_traced",
 ]

@@ -10,6 +10,8 @@ Commands
                  parallel PIO)
 ``sample``       run init-time sampling and print the fitted models
 ``experiments``  write the full paper-vs-measured EXPERIMENTS.md record
+``trace``        run a span-traced benchmark and export a Chrome/Perfetto
+                 trace plus the per-request latency breakdown
 ``list``         show available strategies, drivers and rail presets
 
 Every command accepts ``--platform config.json`` (see
@@ -23,7 +25,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .bench import FIGURES, report_figure, run_figure, run_pingpong, write_reports
+from .bench import (
+    FIGURES,
+    TRACE_TARGETS,
+    report_figure,
+    run_figure,
+    run_pingpong,
+    run_traced,
+    write_reports,
+)
 from .bench import ablations as ablations_mod
 from .core.sampling import sample_rails
 from .core.session import Session
@@ -96,6 +106,27 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("-o", "--output", default="EXPERIMENTS.md")
     e.add_argument("--reps", type=int, default=3)
     e.add_argument("--no-ablations", action="store_true")
+
+    t = sub.add_parser(
+        "trace", help="record a span-traced run and export Chrome trace JSON"
+    )
+    t.add_argument(
+        "target",
+        nargs="?",
+        default="fig6",
+        help=f"what to trace: one of {sorted(TRACE_TARGETS)} (figure ids"
+        " like fig4a or bench_fig6_* are accepted; default: fig6)",
+    )
+    t.add_argument(
+        "-o", "--output", metavar="JSON", default="trace.json",
+        help="Chrome trace-event output file (open in Perfetto / chrome://tracing)",
+    )
+    t.add_argument(
+        "--jsonl", metavar="FILE", help="also dump raw spans as JSONL to FILE"
+    )
+    t.add_argument(
+        "--no-report", action="store_true", help="skip the per-request latency report"
+    )
 
     sub.add_parser("list", help="show strategies, drivers, rail presets")
     return parser
@@ -209,6 +240,43 @@ def _cmd_experiments(args) -> int:
     return 0 if ok == len(outcomes) else 1
 
 
+def _cmd_trace(args) -> int:
+    from .obs import (
+        lifecycle_report,
+        lifecycle_table,
+        poll_tax_by_rail,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from .util.errors import BenchError
+
+    try:
+        session = run_traced(args.target, _load_platform(args) if args.platform else None)
+    except BenchError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        n_events = write_chrome_trace(session, args.output)
+        print(f"{args.output}: {n_events} span events (open in https://ui.perfetto.dev)")
+        if args.jsonl:
+            n_lines = write_jsonl(session, args.jsonl)
+            print(f"{args.jsonl}: {n_lines} JSONL span records")
+    except OSError as exc:
+        print(f"cannot write trace: {exc}", file=sys.stderr)
+        return 1
+    if not args.no_report:
+        rows = lifecycle_report(session, node_id=0)
+        print()
+        print(lifecycle_table(rows).render())
+        tax = poll_tax_by_rail(rows)
+        if tax:
+            print()
+            print("idle-poll tax charged to node 0 requests, by rail:")
+            for rail, us in sorted(tax.items()):
+                print(f"  {rail:>10}: {us:8.2f} us")
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("strategies:", ", ".join(available_strategies()))
     print("drivers:   ", ", ".join(available_drivers()))
@@ -229,6 +297,7 @@ _COMMANDS = {
     "extensions": _cmd_extensions,
     "sample": _cmd_sample,
     "experiments": _cmd_experiments,
+    "trace": _cmd_trace,
     "list": _cmd_list,
 }
 

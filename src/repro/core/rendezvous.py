@@ -76,6 +76,7 @@ class RdvManager:
         self._req_ids = itertools.count(1)
         self._out: dict[int, RdvSendState] = {}
         self._in: dict[tuple[int, int], RdvRecvState] = {}
+        self._m_handshake = engine.session.metrics.histogram("engine.rdv.handshake_us")
         # statistics
         self.initiated = 0
         self.split_count = 0
@@ -140,7 +141,31 @@ class RdvManager:
         state.drained += 1
         if state.drained == len(state.chunks):
             del self._out[state.req_id]
+            now = self.engine.sim.now
+            self._m_handshake.observe(now - state.started_at)
+            spans = self.engine.spans
+            if spans.enabled:
+                spans.add(
+                    self.engine.node_id,
+                    "rdv",
+                    f"rdv#{state.req_id}",
+                    "rdv",
+                    state.started_at,
+                    now,
+                    {
+                        "req_id": state.req_id,
+                        "bytes": state.segment.size,
+                        "chunks": len(state.chunks),
+                        "rails": [c[0] for c in state.chunks],
+                        "dst": state.segment.dst_node,
+                    },
+                )
             state.segment.request._complete()
+
+    def send_request(self, req_id: int):
+        """The outstanding send request behind one RDV_REQ id (or None)."""
+        state = self._out.get(req_id)
+        return None if state is None else state.segment.request
 
     # -- receiver side -----------------------------------------------------
     def accept(self, src_node: int, rdv: RdvReq, request: RecvRequest) -> None:

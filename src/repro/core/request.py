@@ -21,7 +21,17 @@ __all__ = ["Request", "SendRequest", "RecvRequest", "MultiRequest"]
 class Request:
     """Base class for asynchronous communication requests."""
 
-    __slots__ = ("sim", "peer", "tag", "seq", "done", "submitted_at", "completed_at", "_signal")
+    __slots__ = (
+        "sim",
+        "peer",
+        "tag",
+        "seq",
+        "done",
+        "submitted_at",
+        "first_commit_at",
+        "completed_at",
+        "_signal",
+    )
 
     def __init__(self, sim: Simulator, peer: int, tag: int, seq: int):
         self.sim = sim
@@ -30,6 +40,9 @@ class Request:
         self.seq = seq
         self.done = False
         self.submitted_at = sim.now
+        #: when the engine first PIO-posted a wrapper carrying this
+        #: request (eager data or its RDV_REQ); feeds the lifecycle report.
+        self.first_commit_at: Optional[float] = None
         self.completed_at: Optional[float] = None
         self._signal = Signal(sim, name=f"req({peer},{tag},{seq})")
 

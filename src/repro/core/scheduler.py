@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..drivers.registry import make_driver
+from ..obs.spans import TRACK_PUMP, rail_track
 from ..sim.process import Process, Timeout, spawn
 from ..trace.tracer import Counters
 from ..util.errors import ApiError, ProtocolError
@@ -71,8 +72,35 @@ class NodeEngine:
         self.gates: dict[int, Gate] = {}
         self.counters = Counters()
         self.tracer = session.tracer
+        self.spans = session.spans
         for drv in self.drivers:
             drv.tracer = self.tracer
+            drv.spans = self.spans
+        #: send requests issued by this node, kept only while span tracing
+        #: is on (feeds the per-request lifecycle report).
+        self.sent_log: list[SendRequest] = []
+        # hot-path instruments, resolved once (see obs.metrics.SCHEMA)
+        metrics = session.metrics
+        self._m_sweeps = metrics.counter("engine.sweeps")
+        self._m_poll_count = [
+            metrics.counter("engine.poll.count", rail=d.name) for d in self.drivers
+        ]
+        self._m_poll_idle_us = [
+            metrics.counter("engine.poll.idle_us", rail=d.name) for d in self.drivers
+        ]
+        self._m_commit_count = [
+            metrics.counter("engine.commit.count", rail=d.name) for d in self.drivers
+        ]
+        self._m_commit_lat = [
+            metrics.histogram("engine.commit.latency_us", rail=d.name)
+            for d in self.drivers
+        ]
+        self._m_wrapper_bytes = [
+            metrics.histogram("engine.commit.wrapper_bytes", rail=d.name)
+            for d in self.drivers
+        ]
+        self._m_poll_gap = metrics.histogram("engine.commit.poll_gap_us")
+        self._m_window_depth = metrics.histogram("engine.window.depth")
         self._stopped = False
         strategy.bind(self)
         self.pump: Process = spawn(self.sim, self._pump_loop(), name=f"pump{node_id}")
@@ -112,6 +140,12 @@ class NodeEngine:
         gate.note_submit(payload.size)
         self.counters.add("segments_submitted")
         self.counters.add("bytes_submitted", payload.size)
+        if self.spans.enabled:
+            self.sent_log.append(request)
+            self.spans.instant(
+                self.node_id, TRACK_PUMP, "submit", "api", self.sim.now,
+                {"tag": tag, "seq": seq, "bytes": payload.size, "dst": dst_node},
+            )
         self.strategy.pack(self, segment)
         self.host.wake()
         return request
@@ -223,24 +257,67 @@ class NodeEngine:
     # ------------------------------------------------------------------ #
     # the pump
     # ------------------------------------------------------------------ #
+    def _stamp_first_commits(self, pw: PacketWrapper, rail_idx: int) -> None:
+        """Record submit→commit latency for every request riding ``pw``.
+
+        Eager sends sit in ``pw.send_requests``; a rendezvous send's first
+        commit is the wrapper carrying its RDV_REQ control entry.
+        """
+        now = self.sim.now
+        lat = self._m_commit_lat[rail_idx]
+        for req in pw.send_requests:
+            if req.first_commit_at is None:
+                req.first_commit_at = now
+                lat.observe(now - req.submitted_at)
+        for entry in pw.entries:
+            if isinstance(entry, RdvReq):
+                sreq = self.rdv.send_request(entry.req_id)
+                if sreq is not None and sreq.first_commit_at is None:
+                    sreq.first_commit_at = now
+                    lat.observe(now - sreq.submitted_at)
+
     def _pump_loop(self):
+        spans = self.spans
+        node = self.node_id
         while not self._stopped:
             self.counters.add("sweeps")
+            self._m_sweeps.add()
             progressed = False
+            sweep_t0 = self.sim.now
+            sweep = spans.begin(node, TRACK_PUMP, "sweep", "sweep", sweep_t0)
             # --- poll phase -------------------------------------------
             arrived: list[tuple["Driver", Any]] = []
             for idx in self._order:
                 driver = self.drivers[idx]
                 cost, pkts = driver.poll()
                 self.counters.add("polls")
-                if cost > 0:
+                self._m_poll_count[idx].add()
+                if not pkts:
+                    self._m_poll_idle_us[idx].add(cost)
+                if spans.enabled:
+                    span = spans.begin(
+                        node, TRACK_PUMP, "poll", "poll", self.sim.now,
+                        {"rail": driver.name, "pkts": len(pkts)},
+                    )
+                    if cost > 0:
+                        yield Timeout(cost)
+                    spans.end(span, self.sim.now)
+                elif cost > 0:
                     yield Timeout(cost)
                 for p in pkts:
                     arrived.append((driver, p))
             # --- handle phase -----------------------------------------
             for driver, pkt in arrived:
                 cost, deferred = self._handle_packet(driver, pkt)
-                if cost > 0:
+                if spans.enabled:
+                    span = spans.begin(
+                        node, TRACK_PUMP, "handle", "handle", self.sim.now,
+                        {"rail": driver.name, "kind": type(pkt).__name__},
+                    )
+                    if cost > 0:
+                        yield Timeout(cost)
+                    spans.end(span, self.sim.now)
+                elif cost > 0:
                     yield Timeout(cost)
                 for fn in deferred:
                     fn()
@@ -253,9 +330,25 @@ class NodeEngine:
                     # path; revisit when it frees
                     self.sim.at(driver.nic.tx_busy_until, self.host.wake)
                     continue
+                backlog = getattr(self.strategy, "backlog", 0)
                 pw = self.strategy.try_and_commit(self, driver)
+                if spans.enabled:
+                    spans.instant(
+                        node, TRACK_PUMP, "decision", "decision", self.sim.now,
+                        {
+                            "rail": driver.name,
+                            "backlog": backlog,
+                            "committed": pw is not None,
+                        },
+                    )
                 if pw is None:
                     continue
+                commit_span = spans.begin(
+                    node, TRACK_PUMP, "commit", "commit", self.sim.now,
+                    {"rail": driver.name, "entries": len(pw.entries)}
+                    if spans.enabled
+                    else None,
+                )
                 data_entries = pw.data_entries
                 if len(data_entries) > 1:
                     # aggregation copy into one contiguous buffer
@@ -268,16 +361,23 @@ class NodeEngine:
                 offloaded = self.host.has_pio_workers and self.host.try_claim_pio_worker(
                     self.sim.now + post, copy
                 )
+                self._stamp_first_commits(pw, idx)
+                self._m_commit_count[idx].add()
+                self._m_wrapper_bytes[idx].observe(driver.wire_size(pw))
+                self._m_poll_gap.observe(self.sim.now - sweep_t0)
+                self._m_window_depth.observe(backlog)
                 cost = driver.post_eager(pw, copy_offloaded=offloaded)
                 self.counters.add("packets_committed")
                 if offloaded:
                     self.counters.add("pio_offloads")
-                self.tracer.record(
-                    self.sim.now, self.node_id, "commit",
-                    f"rail={driver.name} entries={len(pw.entries)}"
-                    + (" offloaded" if offloaded else ""),
-                )
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        self.sim.now, self.node_id, "commit",
+                        f"rail={driver.name} entries={len(pw.entries)}"
+                        + (" offloaded" if offloaded else ""),
+                    )
                 yield Timeout(cost)
+                spans.end(commit_span, self.sim.now)
                 if offloaded:
                     # requests complete when the worker finishes the copy
                     self.sim.schedule(
@@ -288,6 +388,7 @@ class NodeEngine:
                     for req in pw.send_requests:
                         req._complete()
                 progressed = True
+            spans.end(sweep, self.sim.now)
             # --- idle? --------------------------------------------------
             rx_waiting = any(d.nic.rx_pending for d in self.drivers)
             if not progressed and not rx_waiting and not self._stopped:

@@ -23,9 +23,11 @@ from typing import Any, Generator, Mapping, Optional
 
 from ..hardware.platform import Platform
 from ..hardware.spec import PlatformSpec
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder
 from ..sim.engine import Simulator
 from ..sim.process import Process, spawn
-from ..trace.tracer import Counters, Tracer
+from ..trace.tracer import NULL_TRACER, Counters, Tracer
 from ..util.errors import ConfigError
 from .sampling import SampleTable
 from .scheduler import NodeEngine
@@ -52,7 +54,13 @@ class Session:
         self.sim = sim if sim is not None else Simulator()
         self.platform = Platform(self.sim, spec)
         self.samples = samples
-        self.tracer = Tracer(trace)
+        #: legacy flat event log — a shared no-op instance when tracing is
+        #: off, so hot paths pay nothing (not even a dead list append).
+        self.tracer = Tracer(True) if trace else NULL_TRACER
+        #: span-based timeline (pump phases, per-rail PIO/DMA, rendezvous).
+        self.spans = SpanRecorder(enabled=trace)
+        #: always-on counters/gauges/histograms (schema: repro.obs.metrics).
+        self.metrics = MetricsRegistry()
         from .strategies.base import Strategy
 
         if isinstance(strategy, Strategy):
@@ -116,8 +124,14 @@ class Session:
             return self.engine(node_id).counters
         merged = Counters()
         for engine in self.engines:
-            merged = merged.merge(engine.counters)
+            merged += engine.counters
         return merged
+
+    def lifecycle_report(self, node_id: Optional[int] = None):
+        """Per-request latency decomposition (requires ``trace=True``)."""
+        from ..obs.report import lifecycle_report
+
+        return lifecycle_report(self, node_id)
 
     def __repr__(self) -> str:  # pragma: no cover
         rails = ",".join(r.name for r in self.spec.rails)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..core.packet import DmaChunk, PacketWrapper, Payload
+from ..obs.spans import rail_track
 from ..util.errors import DriverError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +59,9 @@ class Driver:
         self.dma_bytes = 0
         #: set by the owning engine; busy intervals are traced through it.
         self.tracer = None
+        #: set by the owning engine; PIO/DMA activity becomes spans on
+        #: this rail's track (see repro.obs.spans).
+        self.spans = None
 
     # ------------------------------------------------------------------ #
     # capabilities
@@ -155,6 +159,22 @@ class Driver:
                 f"pio {self.name} {size}B",
                 data={"rail": self.name, "kind": "pio", "start": now, "end": now + post + copy},
             )
+        if self.spans is not None and self.spans.enabled:
+            self.spans.add(
+                self.node_id,
+                rail_track(self.name),
+                "pio",
+                "pio",
+                now,
+                now + post + copy,
+                {
+                    "rail": self.name,
+                    "bytes": size,
+                    "entries": len(pw.entries),
+                    "dst": pw.dst_node,
+                    "offloaded": copy_offloaded,
+                },
+            )
         return post if copy_offloaded else post + copy
 
     # ------------------------------------------------------------------ #
@@ -207,6 +227,22 @@ class Driver:
                             "kind": "dma",
                             "start": start,
                             "end": self.sim.now,
+                        },
+                    )
+                if self.spans is not None and self.spans.enabled:
+                    self.spans.add(
+                        self.node_id,
+                        rail_track(self.name),
+                        "dma",
+                        "dma",
+                        start,
+                        self.sim.now,
+                        {
+                            "rail": self.name,
+                            "bytes": payload.size,
+                            "req_id": req_id,
+                            "offset": offset,
+                            "dst": dst_node,
                         },
                     )
                 if on_drain is not None:

@@ -1,0 +1,55 @@
+"""Observability layer: metrics registry, span tracing, trace exporters.
+
+The three pieces compose (see README "Observability"):
+
+* :mod:`repro.obs.metrics` — always-on counters/gauges/histograms behind a
+  documented schema; one :class:`MetricsRegistry` per session;
+* :mod:`repro.obs.spans` — opt-in (``Session(..., trace=True)``) nested
+  spans of the pump's poll/handle/commit phases, per-rail PIO/DMA activity
+  and rendezvous handshakes;
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome-trace /
+  Perfetto JSON and JSONL serialization, plus the per-request latency
+  decomposition (queueing / idle-poll tax / wire time).
+"""
+
+from .export import (
+    load_chrome_trace,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricSpec,
+)
+from .report import RequestLifecycle, lifecycle_report, lifecycle_table, poll_tax_by_rail
+from .spans import NULL_SPAN, Span, SpanError, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricSpec",
+    "SCHEMA",
+    "Span",
+    "SpanError",
+    "SpanRecorder",
+    "NULL_SPAN",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "RequestLifecycle",
+    "lifecycle_report",
+    "lifecycle_table",
+    "poll_tax_by_rail",
+]

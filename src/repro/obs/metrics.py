@@ -1,0 +1,392 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Every :class:`~repro.core.session.Session` owns one
+:class:`MetricsRegistry`; the engines resolve their instruments once at
+construction time (``registry.histogram(...)`` is get-or-create) so the
+hot paths only pay a method call and an increment per observation.
+
+Unlike the per-node :class:`~repro.trace.tracer.Counters` bag — which is
+free-form and kept for backward compatibility — every metric name used by
+the engine is declared in :data:`SCHEMA`.  Tests assert that the engine
+never emits an undeclared name, which is what keeps dashboards and the
+exporters honest as the system grows.
+
+Naming convention
+-----------------
+``<subsystem>.<object>.<quantity>[_<unit>]``, labels (e.g. the rail) are
+carried separately and rendered as ``name{rail=myri10g}``.  Durations are
+microseconds of *simulated* time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricSpec",
+    "SCHEMA",
+    "ENGINE_COUNTER_NAMES",
+    "render_labels",
+]
+
+Number = Union[int, float]
+
+
+def render_labels(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """``("rail","myri10g")`` label pairs rendered Prometheus-style."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricSpec:
+    """Declared shape of one metric family."""
+
+    __slots__ = ("name", "kind", "unit", "description", "buckets")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        unit: str,
+        description: str,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.unit = unit
+        self.description = description
+        self.buckets = tuple(buckets) if buckets is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MetricSpec {self.kind} {self.name} [{self.unit}]>"
+
+
+#: Geometric microsecond edges covering sub-poll costs up to long DMAs.
+_US_EDGES = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5)
+#: Wrapper wire sizes: from bare control packets to the largest eager limit.
+_BYTE_EDGES = (64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0)
+#: Optimization-window depth (segments waiting when a wrapper is cut).
+_DEPTH_EDGES = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Every metric the engine emits.  Exporters and tests treat this as the
+#: single source of truth; add here before adding an instrument.
+SCHEMA: dict[str, MetricSpec] = {
+    s.name: s
+    for s in (
+        MetricSpec(
+            "engine.sweeps", "counter", "1",
+            "progress-pump sweeps executed (poll+handle+commit)",
+        ),
+        MetricSpec(
+            "engine.poll.count", "counter", "1",
+            "driver polls issued, labelled per rail",
+        ),
+        MetricSpec(
+            "engine.poll.idle_us", "counter", "us",
+            "CPU time spent polling a rail that returned no packet — the"
+            " mandatory multi-rail poll tax of Fig 6, labelled per rail",
+        ),
+        MetricSpec(
+            "engine.commit.count", "counter", "1",
+            "packet wrappers committed, labelled per rail",
+        ),
+        MetricSpec(
+            "engine.commit.latency_us", "histogram", "us",
+            "submit-to-commit latency of each segment riding a wrapper"
+            " (time spent in the optimization window), labelled per rail",
+            buckets=_US_EDGES,
+        ),
+        MetricSpec(
+            "engine.commit.wrapper_bytes", "histogram", "B",
+            "wire size of committed wrappers, labelled per rail",
+            buckets=_BYTE_EDGES,
+        ),
+        MetricSpec(
+            "engine.commit.poll_gap_us", "histogram", "us",
+            "time between a sweep's first poll and each commit of that"
+            " sweep — how long arrivals/handling delayed the emission",
+            buckets=_US_EDGES,
+        ),
+        MetricSpec(
+            "engine.window.depth", "histogram", "1",
+            "strategy backlog (optimization-window depth) observed just"
+            " before each commit decision that produced a wrapper",
+            buckets=_DEPTH_EDGES,
+        ),
+        MetricSpec(
+            "engine.rdv.handshake_us", "histogram", "us",
+            "rendezvous lifetime: initiate to last chunk drained",
+            buckets=_US_EDGES,
+        ),
+        MetricSpec(
+            "engine.backlog.depth", "gauge", "1",
+            "current strategy backlog of one node (last observed)",
+        ),
+    )
+}
+
+#: Names the legacy per-node :class:`~repro.trace.tracer.Counters` bag may
+#: use (kept for backward compatibility; the registry above is the
+#: documented surface).  ``tests/obs`` asserts engine runs stay inside it.
+ENGINE_COUNTER_NAMES = frozenset(
+    {
+        "sweeps",
+        "polls",
+        "segments_submitted",
+        "bytes_submitted",
+        "unexpected_matches",
+        "packets_handled",
+        "eager_rx",
+        "unexpected_eager",
+        "rdv_req_rx",
+        "rdv_unexpected",
+        "rdv_ack_rx",
+        "dma_chunks_rx",
+        "aggregated_packets",
+        "aggregated_segments",
+        "packets_committed",
+        "pio_offloads",
+    }
+)
+
+
+class Counter:
+    """A monotonically increasing number (float-friendly: time counters)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    @property
+    def full_name(self) -> str:
+        return render_labels(self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.full_name}={self.value}>"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current backlog depth)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    @property
+    def full_name(self) -> str:
+        return render_labels(self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Gauge {self.full_name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (less-or-equal) semantics.
+
+    ``counts[i]`` counts observations ``v <= edges[i]``; the final bucket
+    (``counts[-1]``) is the +inf overflow.  Edge values land in the bucket
+    they name, Prometheus-style::
+
+        >>> h = Histogram("t", edges=(1.0, 10.0))
+        >>> for v in (0.5, 1.0, 1.5, 10.0, 11.0): h.observe(v)
+        >>> h.counts
+        [2, 2, 1]
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(
+        self,
+        name: str,
+        edges: Sequence[float],
+        labels: tuple[tuple[str, str], ...] = (),
+    ):
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one bucket edge")
+        e = tuple(float(x) for x in edges)
+        if list(e) != sorted(set(e)):
+            raise ValueError(f"histogram {name!r} edges must be strictly increasing: {edges}")
+        self.name = name
+        self.labels = labels
+        self.edges = e
+        self.counts = [0] * (len(e) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper edge of the q-th bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.edges[i] if i < len(self.edges) else (self.vmax or 0.0)
+        return self.vmax or 0.0
+
+    @property
+    def full_name(self) -> str:
+        return render_labels(self.name, self.labels)
+
+    def snapshot(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Histogram {self.full_name} n={self.count} mean={self.mean:.2f}>"
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments of one session.
+
+    Instruments are keyed by ``(name, labels)``; asking twice returns the
+    same object, which is how engines resolve hot-path instruments once.
+    """
+
+    def __init__(self, strict: bool = False):
+        #: with ``strict=True`` undeclared names raise instead of passing
+        #: through (tests run strict; production code stays permissive so
+        #: user extensions can piggyback on the registry).
+        self.strict = strict
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    # -- instrument factories ------------------------------------------------
+    def _get(self, cls, name: str, labels: Mapping[str, str], *args):
+        key = (name, _label_key(labels))
+        inst = self._metrics.get(key)
+        if inst is None:
+            if self.strict and name not in SCHEMA:
+                raise KeyError(f"metric {name!r} is not declared in obs.metrics.SCHEMA")
+            inst = self._metrics[key] = cls(name, *args, labels=key[1])
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__},"
+                f" not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None, **labels: str
+    ) -> Histogram:
+        if edges is None:
+            spec = SCHEMA.get(name)
+            if spec is None or spec.buckets is None:
+                raise KeyError(
+                    f"histogram {name!r} has no declared buckets; pass edges="
+                )
+            edges = spec.buckets
+        return self._get(Histogram, name, labels, edges)
+
+    # -- introspection -------------------------------------------------------
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> set[str]:
+        """Distinct metric family names registered so far."""
+        return {name for name, _labels in self._metrics}
+
+    def undeclared(self) -> set[str]:
+        """Registered family names missing from :data:`SCHEMA`."""
+        return self.names() - set(SCHEMA)
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict dump keyed by rendered name (stable for asserts)."""
+        out: dict[str, object] = {}
+        for inst in self._metrics.values():
+            if isinstance(inst, Histogram):
+                out[inst.full_name] = inst.snapshot()
+            else:
+                out[inst.full_name] = inst.value  # type: ignore[union-attr]
+        return dict(sorted(out.items()))
+
+    def merge_inplace(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one (same-shape
+        histograms sum bucket-wise); used when aggregating sessions."""
+        for key, inst in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                if isinstance(inst, Histogram):
+                    mine = self._metrics[key] = Histogram(inst.name, inst.edges, labels=key[1])
+                else:
+                    mine = self._metrics[key] = type(inst)(inst.name, labels=key[1])
+            if isinstance(inst, Histogram):
+                assert isinstance(mine, Histogram)
+                if mine.edges != inst.edges:
+                    raise ValueError(f"cannot merge {inst.full_name}: bucket edges differ")
+                for i, c in enumerate(inst.counts):
+                    mine.counts[i] += c
+                mine.count += inst.count
+                mine.total += inst.total
+                for v in (inst.vmin, inst.vmax):
+                    if v is not None:
+                        if mine.vmin is None or v < mine.vmin:
+                            mine.vmin = v
+                        if mine.vmax is None or v > mine.vmax:
+                            mine.vmax = v
+            elif isinstance(inst, Counter):
+                mine.add(inst.value)  # type: ignore[union-attr]
+            else:
+                mine.set(inst.value)  # type: ignore[union-attr]
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MetricsRegistry {len(self)} instruments>"

@@ -1,0 +1,156 @@
+"""Per-request lifecycle reports: where did each send's latency go?
+
+For every send request of a span-traced session the engine records
+``submitted_at`` (API call), ``first_commit_at`` (the wrapper carrying it
+— or its rendezvous request — was PIO-posted) and ``completed_at`` (eager:
+packet fully handed to the NIC; rendezvous: last chunk drained).  The
+report decomposes the total into:
+
+* **queue_us** — submit → first commit: time spent in the optimization
+  window waiting for the pump to reach this segment;
+* **poll_tax_us** — CPU time the *sending* pump spent polling rails that
+  returned nothing while this request was in flight.  The per-rail split
+  (``poll_tax_by_rail``) directly quantifies the paper's Fig 6 penalty:
+  on a multi-rail session the idle NIC's mandatory polls show up here
+  even though the request never touches that rail;
+* **wire_us** — first commit → completion: PIO copy / DMA drain time.
+
+Poll tax overlaps the other two components (polling happens while the
+request queues and drains), so it is reported alongside, not summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..util.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.session import Session
+
+__all__ = ["RequestLifecycle", "lifecycle_report", "lifecycle_table", "poll_tax_by_rail"]
+
+
+@dataclass
+class RequestLifecycle:
+    """Latency decomposition of one completed send request."""
+
+    node: int
+    peer: int
+    tag: int
+    seq: int
+    size: int
+    submitted_at: float
+    first_commit_at: Optional[float]
+    completed_at: float
+    poll_tax_by_rail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_us(self) -> float:
+        return self.completed_at - self.submitted_at
+
+    @property
+    def queue_us(self) -> float:
+        """Submit → first commit (optimization-window residence)."""
+        if self.first_commit_at is None:
+            return self.total_us
+        return self.first_commit_at - self.submitted_at
+
+    @property
+    def wire_us(self) -> float:
+        """First commit → completion (PIO copy / DMA drain)."""
+        if self.first_commit_at is None:
+            return 0.0
+        return self.completed_at - self.first_commit_at
+
+    @property
+    def poll_tax_us(self) -> float:
+        """Idle-poll CPU time on the sending node during this request."""
+        return sum(self.poll_tax_by_rail.values())
+
+
+def _idle_polls(session: "Session", node: int) -> list[tuple[float, float, str]]:
+    """(t0, t1, rail) of every poll span that returned no packet."""
+    out = []
+    for span in session.spans.by_node(node):
+        if span.name != "poll" or span.open:
+            continue
+        args = span.args or {}
+        if args.get("pkts", 0) == 0:
+            out.append((span.t0, span.t1, args.get("rail", "?")))
+    return out
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def lifecycle_report(
+    session: "Session", node_id: Optional[int] = None
+) -> list[RequestLifecycle]:
+    """Lifecycle rows for every completed send of one node (or all).
+
+    Requires a session built with ``trace=True`` (the engines only keep
+    their request log — and the poll spans the tax is computed from —
+    while span tracing is on).
+    """
+    engines = (
+        session.engines if node_id is None else [session.engine(node_id)]
+    )
+    rows: list[RequestLifecycle] = []
+    for engine in engines:
+        idle = _idle_polls(session, engine.node_id)
+        for req in engine.sent_log:
+            if not req.done:
+                continue
+            assert req.completed_at is not None
+            row = RequestLifecycle(
+                node=engine.node_id,
+                peer=req.peer,
+                tag=req.tag,
+                seq=req.seq,
+                size=req.payload.size,
+                submitted_at=req.submitted_at,
+                first_commit_at=req.first_commit_at,
+                completed_at=req.completed_at,
+            )
+            for t0, t1, rail in idle:
+                d = _overlap(t0, t1, req.submitted_at, req.completed_at)
+                if d > 0.0:
+                    row.poll_tax_by_rail[rail] = row.poll_tax_by_rail.get(rail, 0.0) + d
+            rows.append(row)
+    rows.sort(key=lambda r: (r.submitted_at, r.node, r.seq))
+    return rows
+
+
+def poll_tax_by_rail(rows: list[RequestLifecycle]) -> dict[str, float]:
+    """Total idle-poll time attributed per rail across a report."""
+    out: dict[str, float] = {}
+    for row in rows:
+        for rail, us in row.poll_tax_by_rail.items():
+            out[rail] = out.get(rail, 0.0) + us
+    return out
+
+
+def lifecycle_table(rows: list[RequestLifecycle], title: str = "Request lifecycle") -> Table:
+    """Render a report as the per-request latency-breakdown table."""
+    rails = sorted({rail for r in rows for rail in r.poll_tax_by_rail})
+    table = Table(
+        ["node", "peer", "tag#seq", "bytes", "total us", "queue us", "wire us"]
+        + [f"poll {r} (us)" for r in rails],
+        title=title,
+        precision=2,
+    )
+    for r in rows:
+        table.add_row(
+            r.node,
+            r.peer,
+            f"{r.tag}#{r.seq}",
+            r.size,
+            r.total_us,
+            r.queue_us,
+            r.wire_us,
+            *[r.poll_tax_by_rail.get(rail, 0.0) for rail in rails],
+        )
+    return table

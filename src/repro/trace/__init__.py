@@ -1,15 +1,30 @@
-"""Observability: counters, structured event tracing, usage summaries."""
+"""Observability: counters, structured event tracing, usage summaries.
 
-from .timeline import busy_intervals, commit_timeline, gantt, rail_byte_shares, rail_usage_table
-from .tracer import Counters, TraceEvent, Tracer
+The richer span/metrics layer lives in :mod:`repro.obs`; this package
+keeps the always-on counter bag, the legacy flat event log and the
+text-mode summaries (tables, gantt) built on top of either.
+"""
+
+from .timeline import (
+    busy_intervals,
+    commit_timeline,
+    gantt,
+    merge_intervals,
+    rail_byte_shares,
+    rail_usage_table,
+)
+from .tracer import NULL_TRACER, Counters, NullTracer, TraceEvent, Tracer
 
 __all__ = [
     "Counters",
     "Tracer",
     "TraceEvent",
+    "NullTracer",
+    "NULL_TRACER",
     "rail_usage_table",
     "rail_byte_shares",
     "commit_timeline",
     "gantt",
     "busy_intervals",
+    "merge_intervals",
 ]

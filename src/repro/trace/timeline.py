@@ -16,7 +16,14 @@ from ..util.tables import Table
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.session import Session
 
-__all__ = ["rail_usage_table", "rail_byte_shares", "commit_timeline", "gantt", "busy_intervals"]
+__all__ = [
+    "rail_usage_table",
+    "rail_byte_shares",
+    "commit_timeline",
+    "gantt",
+    "busy_intervals",
+    "merge_intervals",
+]
 
 
 def rail_usage_table(session: "Session") -> Table:
@@ -71,21 +78,50 @@ def commit_timeline(session: "Session") -> list[tuple[float, int, str]]:
     ]
 
 
+def merge_intervals(
+    intervals: list[tuple[float, float, str]]
+) -> list[tuple[float, float, str]]:
+    """Sort and coalesce overlapping/adjacent intervals of the same kind.
+
+    Distinct kinds never merge (a PIO burst abutting a DMA stays two
+    intervals); within one kind, a run of overlapping intervals becomes a
+    single ``(min_start, max_end, kind)`` row.
+    """
+    merged: list[tuple[float, float, str]] = []
+    for start, end, kind in sorted(intervals):
+        if merged:
+            p_start, p_end, p_kind = merged[-1]
+            if kind == p_kind and start <= p_end:
+                merged[-1] = (p_start, max(p_end, end), p_kind)
+                continue
+        merged.append((start, end, kind))
+    return merged
+
+
 def busy_intervals(session: "Session", node_id: int) -> dict[str, list[tuple[float, float, str]]]:
     """Per-rail NIC busy intervals ``(start, end, kind)`` of one node.
 
-    ``kind`` is ``"pio"`` or ``"dma"``.  Requires ``trace=True``.
+    ``kind`` is ``"pio"`` or ``"dma"``.  Requires ``trace=True``.  Built
+    from the session's recorded rail spans (see :mod:`repro.obs.spans`);
+    overlapping same-kind activity is merged into maximal intervals.
     """
     out: dict[str, list[tuple[float, float, str]]] = {}
-    for ev in session.tracer.by_category("nic_busy"):
-        if ev.node != node_id or not ev.data:
-            continue
-        out.setdefault(ev.data["rail"], []).append(
-            (ev.data["start"], ev.data["end"], ev.data["kind"])
-        )
-    for intervals in out.values():
-        intervals.sort()
-    return out
+    spans = getattr(session, "spans", None)
+    if spans is not None and len(spans):
+        for span in spans.by_node(node_id):
+            if span.cat not in ("pio", "dma") or span.open:
+                continue
+            rail = (span.args or {}).get("rail", span.track.removeprefix("rail:"))
+            out.setdefault(rail, []).append((span.t0, span.t1, span.cat))
+    else:
+        # sessions that only carry the legacy flat event log
+        for ev in session.tracer.by_category("nic_busy"):
+            if ev.node != node_id or not ev.data:
+                continue
+            out.setdefault(ev.data["rail"], []).append(
+                (ev.data["start"], ev.data["end"], ev.data["kind"])
+            )
+    return {rail: merge_intervals(ivs) for rail, ivs in out.items()}
 
 
 def gantt(session: "Session", node_id: int = 0, width: int = 72) -> str:
@@ -116,6 +152,14 @@ def gantt(session: "Session", node_id: int = 0, width: int = 72) -> str:
                 lane[c] = mark
         lines.append(f"{name:<{name_w}} |" + "".join(lane).rstrip())
     lines.append(" " * name_w + " +" + "-" * width)
-    footer = " " * (name_w + 2) + "0.0us" + " " * max(1, width - 12) + f"{t_end:.1f}us"
+    # time labels aligned with the axis: "0.0us" under its left end, the
+    # end label right-justified under its right end (clamped when the
+    # axis is too narrow to fit both).
+    left, right = "0.0us", f"{t_end:.1f}us"
+    gap = width - len(left) - len(right)
+    if gap >= 1:
+        footer = " " * (name_w + 2) + left + " " * gap + right
+    else:  # too narrow for both: keep the end label, right-justified
+        footer = " " * (name_w + 2) + right.rjust(width)
     lines.append(footer)
     return "\n".join(lines)

@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-__all__ = ["Counters", "Tracer", "TraceEvent"]
+__all__ = ["Counters", "Tracer", "TraceEvent", "NullTracer", "NULL_TRACER"]
 
 
 class Counters:
@@ -40,6 +40,20 @@ class Counters:
             for k, v in src._values.items():
                 out._values[k] += v
         return out
+
+    def merge_inplace(self, other: "Counters") -> "Counters":
+        """Fold ``other``'s counts into this bag; returns ``self``.
+
+        The aggregation loops (``session.counters()``, the figure
+        runners) fold many per-node bags into one accumulator — in place,
+        so N nodes cost N dict walks instead of N copies.
+        """
+        for k, v in other._values.items():
+            self._values[k] += v
+        return self
+
+    def __iadd__(self, other: "Counters") -> "Counters":
+        return self.merge_inplace(other)
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(sorted(self._values.items()))
@@ -92,3 +106,37 @@ class Tracer:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class NullTracer:
+    """The tracer handed out by untraced sessions.
+
+    Same surface as :class:`Tracer` with ``enabled`` pinned to False, so
+    hot paths can guard with ``if tracer.enabled:`` and skip building
+    ``detail`` strings entirely; an unguarded ``record`` is still a plain
+    no-op (no list append, no event construction).
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    events: tuple = ()
+
+    def record(self, *_args, **_kwargs) -> None:
+        pass
+
+    def by_category(self, category: str) -> list[TraceEvent]:
+        return []
+
+    def by_node(self, node: int) -> list[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared instance — the null tracer is stateless.
+NULL_TRACER = NullTracer()

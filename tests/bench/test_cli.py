@@ -88,6 +88,45 @@ def test_flood_command(capsys):
     assert "flood" in out and "MB/s" in out and "msgs/ms" in out
 
 
+def test_trace_command(capsys, tmp_path):
+    from repro.obs import load_chrome_trace
+
+    trace = tmp_path / "fig6.json"
+    jsonl = tmp_path / "fig6.jsonl"
+    assert main(
+        ["trace", "bench_fig6", "-o", str(trace), "--jsonl", str(jsonl)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "span events" in out
+    assert "Request lifecycle" in out
+    assert "idle-poll tax" in out and "myri10g" in out
+    doc = load_chrome_trace(str(trace))  # validates the schema
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    assert jsonl.read_text().strip()
+
+
+def test_trace_no_report(capsys, tmp_path):
+    trace = tmp_path / "t.json"
+    assert main(["trace", "pingpong", "-o", str(trace), "--no-report"]) == 0
+    out = capsys.readouterr().out
+    assert "Request lifecycle" not in out
+    assert trace.exists()
+
+
+def test_trace_unknown_target(capsys, tmp_path):
+    assert main(["trace", "fig99", "-o", str(tmp_path / "t.json")]) == 2
+    assert "unknown trace target" in capsys.readouterr().err
+
+
+def test_trace_target_aliases():
+    from repro.bench import TRACE_TARGETS, resolve_trace_target
+
+    assert resolve_trace_target("fig6") is TRACE_TARGETS["fig6"]
+    assert resolve_trace_target("bench_fig6") is TRACE_TARGETS["fig6"]
+    assert resolve_trace_target("fig4a") is TRACE_TARGETS["fig4"]
+    assert resolve_trace_target("Fig5.py") is TRACE_TARGETS["fig5"]
+
+
 def test_extensions_subset(capsys):
     assert main(["extensions", "parallel_pio_latency"]) == 0
     assert "parallel PIO" in capsys.readouterr().out

@@ -32,14 +32,15 @@ def test_expected_examples_present():
         "heterogeneous_cluster.py",
         "reproduce_figures.py",
         "collectives_demo.py",
-        "engine_trace.py",
+        "trace_export.py",
     }
 
 
 @pytest.mark.parametrize(
     "name", [e for e in EXAMPLES if e != "reproduce_figures.py"]
 )
-def test_example_runs(name, capsys):
+def test_example_runs(name, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # examples may write artifacts to cwd
     run_example(name)
     out = capsys.readouterr().out
     assert out.strip(), f"{name} produced no output"

@@ -1,0 +1,183 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro import Session, run_pingpong
+from repro.obs import SCHEMA, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import render_labels
+from repro.util.units import MB
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        """Edge values land in the bucket they name (le semantics)."""
+        h = Histogram("t", edges=(1.0, 10.0))
+        for v in (0.5, 1.0, 1.5, 10.0, 11.0):
+            h.observe(v)
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(24.0)
+        assert h.vmin == 0.5 and h.vmax == 11.0
+
+    def test_exact_edges_every_bucket(self):
+        edges = (0.1, 0.3, 1.0, 3.0)
+        h = Histogram("t", edges=edges)
+        for e in edges:
+            h.observe(e)
+        assert h.counts == [1, 1, 1, 1, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram("t", edges=(1.0,))
+        h.observe(1e9)
+        assert h.counts == [0, 1]
+
+    def test_zero_and_negative_land_in_first_bucket(self):
+        h = Histogram("t", edges=(1.0, 2.0))
+        h.observe(0.0)
+        h.observe(-5.0)
+        assert h.counts == [2, 0, 0]
+
+    def test_mean_and_quantile(self):
+        h = Histogram("t", edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(6.5 / 4)
+        assert h.quantile(0.0) == 1.0  # first non-empty bucket's edge
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_validation_and_empty(self):
+        h = Histogram("t", edges=(1.0,))
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t", edges=())
+        with pytest.raises(ValueError):
+            Histogram("t", edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t", edges=(1.0, 1.0))
+
+    def test_snapshot_shape(self):
+        h = Histogram("t", edges=(1.0,))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["edges"] == [1.0]
+        assert snap["counts"] == [1, 0]
+        assert snap["count"] == 1 and snap["min"] == snap["max"] == 0.5
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("engine.sweeps")
+        b = reg.counter("engine.sweeps")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("engine.poll.count", rail="myri10g")
+        b = reg.counter("engine.poll.count", rail="qsnet2")
+        assert a is not b
+        assert a.full_name == "engine.poll.count{rail=myri10g}"
+        assert reg.names() == {"engine.poll.count"}
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.sweeps")
+        with pytest.raises(TypeError):
+            reg.gauge("engine.sweeps")
+
+    def test_histogram_buckets_from_schema(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("engine.commit.latency_us")
+        assert h.edges == SCHEMA["engine.commit.latency_us"].buckets
+        with pytest.raises(KeyError):
+            reg.histogram("no.such.histogram")  # no declared buckets
+
+    def test_strict_mode_rejects_undeclared(self):
+        reg = MetricsRegistry(strict=True)
+        with pytest.raises(KeyError):
+            reg.counter("custom.thing")
+        reg2 = MetricsRegistry()  # permissive by default
+        reg2.counter("custom.thing").add(3)
+        assert reg2.undeclared() == {"custom.thing"}
+
+    def test_merge_inplace_sums(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("engine.sweeps").add(2)
+        b.counter("engine.sweeps").add(3)
+        b.gauge("engine.backlog.depth").set(7)
+        ha = a.histogram("engine.window.depth")
+        hb = b.histogram("engine.window.depth")
+        ha.observe(1.0)
+        hb.observe(100.0)
+        a.merge_inplace(b)
+        assert a.counter("engine.sweeps").value == 5
+        assert a.gauge("engine.backlog.depth").value == 7
+        merged = a.histogram("engine.window.depth")
+        assert merged.count == 2
+        assert merged.vmin == 1.0 and merged.vmax == 100.0
+        # source untouched
+        assert b.counter("engine.sweeps").value == 3
+
+    def test_merge_inplace_edge_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("x", edges=(1.0,))
+        b.histogram("x", edges=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge_inplace(b)
+
+    def test_render_labels(self):
+        assert render_labels("n", ()) == "n"
+        assert render_labels("n", (("a", "1"), ("b", "2"))) == "n{a=1,b=2}"
+
+
+class TestEngineMetrics:
+    def test_engine_emits_only_declared_names(self, plat2):
+        session = Session(plat2, strategy="greedy")
+        run_pingpong(session, 1 * MB, segments=2, reps=1)
+        assert session.metrics.undeclared() == set()
+        assert session.metrics.names() <= set(SCHEMA)
+
+    def test_poll_tax_counters_per_rail(self, session2):
+        run_pingpong(session2, 64, reps=2)
+        m = session2.metrics
+        # aggreg_multirail sends small messages on one rail only; the other
+        # rail's polls all come back empty — the Fig 6 penalty.
+        idle = {
+            inst.labels[0][1]: inst.value
+            for inst in m
+            if isinstance(inst, Counter) and inst.name == "engine.poll.idle_us"
+        }
+        assert set(idle) == {"myri10g", "qsnet2"}
+        assert all(v > 0 for v in idle.values())
+
+    def test_commit_latency_histogram_populated(self, plat2):
+        session = Session(plat2, strategy="greedy")
+        run_pingpong(session, 4096, segments=2, reps=1)
+        hists = [
+            inst
+            for inst in session.metrics
+            if isinstance(inst, Histogram) and inst.name == "engine.commit.latency_us"
+        ]
+        assert hists and sum(h.count for h in hists) > 0
+        for h in hists:
+            assert sum(h.counts) == h.count
+
+    def test_snapshot_round_trips_to_plain_data(self, session2):
+        import json
+
+        run_pingpong(session2, 64, reps=1)
+        snap = session2.metrics.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert any(k.startswith("engine.sweeps") for k in snap)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("engine.backlog.depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3

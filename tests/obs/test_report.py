@@ -1,0 +1,77 @@
+"""Per-request lifecycle report: latency decomposition and the Fig 6
+idle-poll regression test."""
+
+import pytest
+
+from repro import Session, run_pingpong
+from repro.obs import lifecycle_report, lifecycle_table, poll_tax_by_rail
+from repro.util.units import MB
+
+
+class TestLifecycle:
+    @pytest.fixture()
+    def traced(self, plat2):
+        session = Session(plat2, strategy="greedy", trace=True)
+        run_pingpong(session, 1 * MB, segments=2, reps=1, warmup=1)
+        run_pingpong(session, 64, segments=1, reps=2, warmup=0)
+        return session
+
+    def test_rows_cover_all_completed_sends(self, traced):
+        rows = lifecycle_report(traced, node_id=0)
+        # warmup + measured reps, 2 segments large + 1 segment small x2
+        assert len(rows) == len([r for r in traced.engine(0).sent_log if r.done])
+        assert rows == sorted(rows, key=lambda r: (r.submitted_at, r.node, r.seq))
+
+    def test_components_non_negative_and_consistent(self, traced):
+        for row in lifecycle_report(traced):
+            assert row.total_us >= 0
+            assert row.queue_us >= 0
+            assert row.wire_us >= 0
+            assert row.total_us == pytest.approx(row.queue_us + row.wire_us)
+            assert row.first_commit_at is not None
+            assert row.submitted_at <= row.first_commit_at <= row.completed_at
+            assert row.poll_tax_us == pytest.approx(sum(row.poll_tax_by_rail.values()))
+            # polling happens inside the request's lifetime, so the tax can
+            # never exceed the total
+            assert row.poll_tax_us <= row.total_us + 1e-9
+
+    def test_node_filter(self, traced):
+        all_rows = lifecycle_report(traced)
+        n0 = lifecycle_report(traced, node_id=0)
+        assert {r.node for r in n0} == {0}
+        assert len(all_rows) > len(n0)  # pong side sends too
+
+    def test_fig6_idle_rail_poll_tax_nonzero(self, plat2):
+        """The paper's Fig 6 penalty: with aggregation pinned to the fastest
+        NIC, small sends never touch Quadrics, yet the *mandatory* poll of
+        the idle Myri-10G/Quadrics rails still charges every request."""
+        session = Session(plat2, strategy="aggreg_multirail", trace=True)
+        run_pingpong(session, 64, segments=2, reps=3, warmup=1)
+        rows = lifecycle_report(session, node_id=0)
+        assert rows
+        tax = poll_tax_by_rail(rows)
+        # both rails are polled every sweep; at least the rail the small
+        # messages do NOT ride must show idle-poll time
+        assert tax.get("myri10g", 0.0) > 0.0
+        assert sum(tax.values()) > 0.0
+
+    def test_single_rail_session_has_no_cross_rail_tax(self, mx_plat):
+        session = Session(mx_plat, strategy="single_rail", trace=True)
+        run_pingpong(session, 64, reps=1, warmup=0)
+        rows = lifecycle_report(session, node_id=0)
+        for row in rows:
+            assert set(row.poll_tax_by_rail) <= {"myri10g"}
+
+    def test_untraced_session_reports_empty(self, plat2):
+        session = Session(plat2, strategy="greedy")
+        run_pingpong(session, 64, reps=1)
+        assert lifecycle_report(session) == []
+
+    def test_table_renders(self, traced):
+        rows = lifecycle_report(traced, node_id=0)
+        text = lifecycle_table(rows).render()
+        assert "total us" in text and "queue us" in text and "wire us" in text
+        assert text.count("\n") >= len(rows)
+
+    def test_session_convenience_method(self, traced):
+        assert traced.lifecycle_report(0) == lifecycle_report(traced, 0)

@@ -37,6 +37,53 @@ class TestCounters:
         c.add("alpha")
         assert [k for k, _ in c] == ["alpha", "zebra"]
 
+    def test_merge_inplace(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 10)
+        b.add("y", 2)
+        result = a.merge_inplace(b)
+        assert result is a
+        assert a["x"] == 11 and a["y"] == 2
+        assert b["x"] == 10  # source untouched
+
+    def test_iadd(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        a += b
+        assert a["x"] == 3
+
+    def test_session_counters_use_merge(self, plat2):
+        from repro import Session, run_pingpong
+
+        session = Session(plat2, strategy="greedy")
+        run_pingpong(session, 1024, reps=1, warmup=0)
+        merged = session.counters()
+        assert merged["sweeps"] == sum(
+            e.counters["sweeps"] for e in session.engines
+        )
+
+
+class TestNullTracer:
+    def test_singleton_is_inert(self):
+        from repro.trace import NULL_TRACER
+
+        NULL_TRACER.record(1.0, 0, "commit", "x")
+        assert len(NULL_TRACER) == 0
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.by_category("commit") == []
+        assert NULL_TRACER.by_node(0) == []
+        assert list(NULL_TRACER.events) == []
+        NULL_TRACER.clear()  # no-op, no raise
+
+    def test_untraced_session_gets_null_tracer(self, plat2):
+        from repro import Session
+        from repro.trace import NULL_TRACER, Tracer
+
+        assert Session(plat2).tracer is NULL_TRACER
+        assert isinstance(Session(plat2, trace=True).tracer, Tracer)
+
 
 class TestTracer:
     def test_disabled_records_nothing(self):
@@ -132,3 +179,76 @@ class TestGantt:
         intervals = busy_intervals(session, 0)
         kinds = {k for ivs in intervals.values() for _s, _e, k in ivs}
         assert kinds == {"pio"}
+
+    def test_busy_intervals_are_merged(self, plat2):
+        from repro.trace import busy_intervals
+
+        session = Session(plat2, strategy="greedy", trace=True)
+        run_pingpong(session, 512 * 1024, segments=4, reps=2, warmup=0)
+        for ivs in busy_intervals(session, 0).values():
+            for (s0, e0, k0), (s1, _e1, k1) in zip(ivs, ivs[1:]):
+                assert s0 <= s1  # sorted
+                # same-kind neighbours never overlap after merging
+                if k0 == k1:
+                    assert s1 > e0
+
+
+class TestMergeIntervals:
+    def test_overlapping_same_kind_coalesce(self):
+        from repro.trace import merge_intervals
+
+        ivs = [(0.0, 2.0, "pio"), (1.0, 3.0, "pio"), (5.0, 6.0, "pio")]
+        assert merge_intervals(ivs) == [(0.0, 3.0, "pio"), (5.0, 6.0, "pio")]
+
+    def test_adjacent_same_kind_coalesce(self):
+        from repro.trace import merge_intervals
+
+        assert merge_intervals([(0.0, 1.0, "dma"), (1.0, 2.0, "dma")]) == [
+            (0.0, 2.0, "dma")
+        ]
+
+    def test_different_kinds_never_merge(self):
+        from repro.trace import merge_intervals
+
+        ivs = [(0.0, 2.0, "pio"), (1.0, 3.0, "dma")]
+        assert merge_intervals(ivs) == [(0.0, 2.0, "pio"), (1.0, 3.0, "dma")]
+
+    def test_unsorted_input_and_containment(self):
+        from repro.trace import merge_intervals
+
+        ivs = [(4.0, 5.0, "pio"), (0.0, 10.0, "pio"), (2.0, 3.0, "pio")]
+        assert merge_intervals(ivs) == [(0.0, 10.0, "pio")]
+
+    def test_empty(self):
+        from repro.trace import merge_intervals
+
+        assert merge_intervals([]) == []
+
+
+class TestGanttFooter:
+    @staticmethod
+    def _footer_checks(text: str, width: int):
+        lines = text.splitlines()
+        axis, footer = lines[-2], lines[-1]
+        plus = axis.index("+")
+        # the right label's last char never drifts past the axis end
+        assert len(footer) == len(axis)
+        assert footer.rstrip().endswith("us")
+        if "0.0us" in footer:
+            # when both labels fit, the left one sits under the origin
+            assert footer[plus + 1 :].startswith("0.0us")
+
+    def test_footer_aligned_default_width(self, plat2):
+        from repro.trace import gantt
+
+        session = Session(plat2, strategy="greedy", trace=True)
+        run_pingpong(session, 512 * 1024, segments=2, reps=1, warmup=0)
+        self._footer_checks(gantt(session, 0), 72)
+
+    def test_footer_aligned_narrow_width(self, plat2):
+        from repro.trace import gantt
+
+        session = Session(plat2, strategy="greedy", trace=True)
+        run_pingpong(session, 512 * 1024, segments=2, reps=1, warmup=0)
+        for width in (12, 20, 40):
+            self._footer_checks(gantt(session, 0, width=width), width)
