@@ -4,14 +4,19 @@ These are the only benchmarks where pytest-benchmark's timing is the
 point: they track the Python-level cost of the event kernel, the max-min
 fair reallocation, and a full ping-pong simulation, so regressions in the
 substrate (which every figure depends on) are visible.
+
+Workloads (and record names) mirror ``repro.obs.perf.ENGINE_BENCHES`` so
+the ``BENCH_pytest.json`` this session writes can be compared against a
+``repro bench run --engine`` record.
 """
 
 from repro import Session, paper_platform, run_pingpong
+from repro.obs.perf import pingpong_point
 from repro.sim import FlowNetwork, Link, Simulator
 from repro.util.units import MB
 
 
-def test_event_kernel_throughput(benchmark):
+def test_event_kernel_throughput(benchmark, record_wall):
     """Schedule + dispatch 10k chained events."""
 
     def run():
@@ -28,9 +33,10 @@ def test_event_kernel_throughput(benchmark):
         return count[0]
 
     assert benchmark(run) == 10_000
+    record_wall("engine.event_kernel_10k", benchmark)
 
 
-def test_flow_reallocation(benchmark):
+def test_flow_reallocation(benchmark, record_wall):
     """Start/complete 200 flows sharing a bus (quadratic reallocation)."""
 
     def run():
@@ -44,9 +50,10 @@ def test_flow_reallocation(benchmark):
         return net.completed_count
 
     assert benchmark(run) == 200
+    record_wall("engine.flow_reallocation_200", benchmark)
 
 
-def test_pingpong_simulation_cost(benchmark):
+def test_pingpong_simulation_cost(benchmark, record_wall, recorder):
     """Full 2-rail split ping-pong at 1 MB: build + simulate."""
 
     def run():
@@ -55,9 +62,11 @@ def test_pingpong_simulation_cost(benchmark):
 
     result = benchmark(run)
     assert result.bandwidth_MBps > 1000
+    record_wall("engine.pingpong_1MB_greedy", benchmark)
+    recorder.record_point(pingpong_point(result, bench="engine.pingpong_1MB_greedy"))
 
 
-def test_traced_pingpong_simulation_cost(benchmark):
+def test_traced_pingpong_simulation_cost(benchmark, record_wall):
     """Same ping-pong with span tracing on — tracks the observability tax.
 
     Compare against ``test_pingpong_simulation_cost``: spans + per-request
@@ -72,9 +81,10 @@ def test_traced_pingpong_simulation_cost(benchmark):
     result, n_spans = benchmark(run)
     assert result.bandwidth_MBps > 1000
     assert n_spans > 0
+    record_wall("engine.pingpong_1MB_greedy_traced", benchmark)
 
 
-def test_small_message_simulation_cost(benchmark):
+def test_small_message_simulation_cost(benchmark, record_wall, recorder):
     """Latency-regime ping-pong: many sweeps, no flows."""
 
     def run():
@@ -83,3 +93,7 @@ def test_small_message_simulation_cost(benchmark):
 
     result = benchmark(run)
     assert result.one_way_us < 10
+    record_wall("engine.pingpong_64B_aggreg_multirail", benchmark)
+    recorder.record_point(
+        pingpong_point(result, bench="engine.pingpong_64B_aggreg_multirail")
+    )

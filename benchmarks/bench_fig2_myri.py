@@ -7,18 +7,20 @@ aggregation: (a) latency 4 B-32 KB, (b) bandwidth 32 KB-8 MB.
 from repro.bench import report_figure, run_figure, write_reports
 
 
-def test_fig2a_myri_latency(benchmark, report_dir):
+def test_fig2a_myri_latency(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig2a", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     # single-segment small-message latency is the paper's 2.8us scalar
     assert 2.5 <= result.sweep.point("regular", 4).one_way_us <= 3.1
 
 
-def test_fig2b_myri_bandwidth(benchmark, report_dir):
+def test_fig2b_myri_bandwidth(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig2b", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     # peak bandwidth ~1200 MB/s
     peak = max(result.sweep.series("regular", "bandwidth"))
     assert 1100 <= peak <= 1300

@@ -7,18 +7,20 @@ aggregation: (a) latency 4 B-32 KB, (b) bandwidth 32 KB-8 MB.
 from repro.bench import report_figure, run_figure, write_reports
 
 
-def test_fig3a_quadrics_latency(benchmark, report_dir):
+def test_fig3a_quadrics_latency(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig3a", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     # single-segment small-message latency is the paper's 1.7us scalar
     assert 1.5 <= result.sweep.point("regular", 4).one_way_us <= 1.9
 
 
-def test_fig3b_quadrics_bandwidth(benchmark, report_dir):
+def test_fig3b_quadrics_bandwidth(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig3b", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     # peak bandwidth ~850 MB/s
     peak = max(result.sweep.series("regular", "bandwidth"))
     assert 780 <= peak <= 930

@@ -10,10 +10,11 @@ from repro.bench import report_figure, run_figure, write_reports
 from repro.util.units import MB
 
 
-def test_fig4a_greedy2_latency(benchmark, report_dir):
+def test_fig4a_greedy2_latency(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig4a", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     # below the PIO threshold greedy cannot beat the best single rail
     best_single = min(
         result.sweep.point("2-seg aggregated over Myri-10G", 4).one_way_us,
@@ -22,10 +23,11 @@ def test_fig4a_greedy2_latency(benchmark, report_dir):
     assert result.sweep.point("2-seg dynamically balanced", 4).one_way_us >= best_single
 
 
-def test_fig4b_greedy2_bandwidth(benchmark, report_dir):
+def test_fig4b_greedy2_bandwidth(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig4b", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     greedy_peak = result.sweep.point("2-seg dynamically balanced", 8 * MB).bandwidth_MBps
     mx_peak = result.sweep.point("2-seg aggregated over Myri-10G", 8 * MB).bandwidth_MBps
     # paper: 1675 MB/s aggregated vs ~1200 on the best single rail

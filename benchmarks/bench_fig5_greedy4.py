@@ -9,10 +9,11 @@ from repro.bench import report_figure, run_figure, write_reports
 from repro.util.units import MB
 
 
-def test_fig5a_greedy4_latency(benchmark, report_dir):
+def test_fig5a_greedy4_latency(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig5a", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     best_single = min(
         result.sweep.point("4-seg aggregated over Myri-10G", 16).one_way_us,
         result.sweep.point("4-seg aggregated over Quadrics", 16).one_way_us,
@@ -20,10 +21,11 @@ def test_fig5a_greedy4_latency(benchmark, report_dir):
     assert result.sweep.point("4-seg dynamically balanced", 16).one_way_us >= best_single
 
 
-def test_fig5b_greedy4_bandwidth(benchmark, report_dir):
+def test_fig5b_greedy4_bandwidth(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig5b", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     greedy_peak = result.sweep.point("4-seg dynamically balanced", 8 * MB).bandwidth_MBps
     mx_peak = result.sweep.point("4-seg aggregated over Myri-10G", 8 * MB).bandwidth_MBps
     # "in spite of the additional processing ... still interestingly rather high"

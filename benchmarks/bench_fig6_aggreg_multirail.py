@@ -10,10 +10,11 @@ from repro.bench import report_figure, run_figure, write_reports
 from repro.hardware.presets import MYRI_10G
 
 
-def test_fig6_latency(benchmark, report_dir):
+def test_fig6_latency(benchmark, report_dir, recorder):
     result = benchmark.pedantic(lambda: run_figure("fig6", reps=2), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     dyn = result.sweep.point("2-seg dynamically balanced", 4).one_way_us
     q_only = result.sweep.point("2-seg aggregated over Quadrics (NIC-only)", 4).one_way_us
     m_only = result.sweep.point("2-seg aggregated over Myri-10G (NIC-only)", 4).one_way_us

@@ -11,12 +11,13 @@ from repro.bench.figures import fig7
 from repro.util.units import MB
 
 
-def test_fig7_split_bandwidth(benchmark, report_dir, samples):
+def test_fig7_split_bandwidth(benchmark, report_dir, samples, recorder):
     result = benchmark.pedantic(
         lambda: fig7(reps=2, samples=samples), rounds=1, iterations=1
     )
     report_figure(result)
     write_reports([result], report_dir)
+    recorder.record_figure(result)
     at = lambda label: result.sweep.point(label, 8 * MB).bandwidth_MBps
     hetero, iso = at("hetero-split over both"), at("iso-split over both")
     mx, elan = at("1 segment over Myri-10G"), at("1 segment over Quadrics")

@@ -10,11 +10,12 @@ from repro import Session, paper_platform, single_rail_platform
 from repro.bench.flood import run_flood
 from repro.bench.reporting import report_table
 from repro.hardware.presets import MYRI_10G
+from repro.obs.perf import flood_point
 from repro.util.tables import Table
 from repro.util.units import KB, format_size
 
 
-def flood_window_table(size: int = 256 * KB, count: int = 32) -> Table:
+def flood_window_table(size: int = 256 * KB, count: int = 32, recorder=None) -> Table:
     table = Table(
         ["window", "greedy 2-rail (MB/s)", "single mx (MB/s)"],
         title=f"Flood throughput vs send window ({count} x {format_size(size)})",
@@ -29,12 +30,21 @@ def flood_window_table(size: int = 256 * KB, count: int = 32) -> Table:
             count=count,
             window=window,
         )
+        if recorder is not None:
+            recorder.record_point(
+                flood_point(multi, bench="flood.window", curve="greedy 2-rail")
+            )
+            recorder.record_point(
+                flood_point(single, bench="flood.window", curve="single mx")
+            )
         table.add_row(window, multi.throughput_MBps, single.throughput_MBps)
     return table
 
 
-def test_flood_window_scaling(benchmark):
-    table = benchmark.pedantic(flood_window_table, rounds=1, iterations=1)
+def test_flood_window_scaling(benchmark, recorder):
+    table = benchmark.pedantic(
+        flood_window_table, kwargs={"recorder": recorder}, rounds=1, iterations=1
+    )
     report_table(table)
     multi = table.column("greedy 2-rail (MB/s)")
     # deeper windows help until the rails saturate, then plateau

@@ -3,6 +3,12 @@
 Each ``bench_*`` file regenerates one figure of the paper (DESIGN.md §4
 maps figures to files).  Tables are printed (visible with ``pytest -s``)
 and persisted under ``bench_results/`` as text + CSV.
+
+A session-scoped :class:`~repro.obs.perf.BenchRecorder` additionally
+collects every figure's curve points and the ``bench_engine`` wall-clock
+stats into ``bench_results/BENCH_pytest.json`` — the same run-record
+format ``repro bench run`` emits, so a pytest benchmark session can be
+diffed against a baseline with ``repro bench compare``.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import os
 import pytest
 
 from repro import paper_platform, sample_rails
+from repro.obs.perf import BenchRecorder
 
 
 @pytest.fixture(scope="session")
@@ -20,6 +27,30 @@ def report_dir() -> str:
     path = os.path.abspath(path)
     os.makedirs(path, exist_ok=True)
     return path
+
+
+@pytest.fixture(scope="session")
+def recorder(report_dir):
+    """Run-record accumulator; written once at session end."""
+    rec = BenchRecorder("pytest")
+    yield rec
+    if len(rec) or rec._wall:
+        rec.write(os.path.join(report_dir, "BENCH_pytest.json"))
+
+
+@pytest.fixture()
+def record_wall(recorder):
+    """Fold one pytest-benchmark fixture's raw timings into the record
+    (best-effort: stats internals differ across pytest-benchmark
+    versions, and are absent when benchmarking is disabled)."""
+
+    def _record(name: str, benchmark) -> None:
+        stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+        data = list(getattr(stats, "data", None) or [])
+        if data:
+            recorder.record_wall_clock(name, data)
+
+    return _record
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,10 @@ Commands
 ``experiments``  write the full paper-vs-measured EXPERIMENTS.md record
 ``trace``        run a span-traced benchmark and export a Chrome/Perfetto
                  trace plus the per-request latency breakdown
+``bench run``    record a benchmark run as a self-describing BENCH_*.json
+``bench compare``diff two run records / gate on simulated-result drift
+``metrics``      run the canonical probe workload and print its metrics
+                 (OpenMetrics or JSON)
 ``list``         show available strategies, drivers and rail presets
 
 Every command accepts ``--platform config.json`` (see
@@ -81,12 +85,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rail", help="rail name for pinned strategies")
     p.add_argument("--reps", type=int, default=5)
     p.add_argument("--pio-workers", type=int, default=None, help="extra PIO threads (§4)")
+    p.add_argument(
+        "--json", action="store_true", help="emit the point as a run-record JSON object"
+    )
 
     fl = sub.add_parser("flood", help="measure sustained streaming throughput")
     fl.add_argument("--size", default="256K", help="message size (e.g. 4K, 1M)")
     fl.add_argument("--count", type=int, default=64)
     fl.add_argument("--window", type=int, default=8, help="max outstanding sends")
     fl.add_argument("--strategy", default="greedy", choices=available_strategies())
+    fl.add_argument(
+        "--json", action="store_true", help="emit the point as a run-record JSON object"
+    )
 
     f = sub.add_parser("figures", help="regenerate paper figures")
     f.add_argument("ids", nargs="*", help=f"subset of {sorted(FIGURES)} (default: all)")
@@ -128,6 +138,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-report", action="store_true", help="skip the per-request latency report"
     )
 
+    b = sub.add_parser("bench", help="benchmark run registry and regression gate")
+    bsub = b.add_subparsers(dest="bench_command", required=True)
+
+    br = bsub.add_parser("run", help="record a run as BENCH_*.json")
+    br.add_argument(
+        "--engine",
+        action="store_true",
+        help="run the substrate micro-benchmarks (wall-clock + simulated)",
+    )
+    br.add_argument(
+        "--figures",
+        nargs="*",
+        metavar="FIG",
+        default=None,
+        help=f"run paper figures (subset of {sorted(FIGURES)}; bare flag = all)",
+    )
+    br.add_argument("--reps", type=int, default=2, help="simulated reps per figure point")
+    br.add_argument(
+        "--wall-reps", type=int, default=5, help="wall-clock repetitions (median kept)"
+    )
+    br.add_argument("--name", help="record name (default: derived from suites)")
+    br.add_argument("-o", "--output", required=True, metavar="JSON")
+
+    bc = bsub.add_parser("compare", help="diff two run records")
+    bc.add_argument("baseline", help="baseline BENCH_*.json")
+    bc.add_argument("current", help="current BENCH_*.json")
+    bc.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero on simulated-result drift (wall-clock stays report-only)",
+    )
+    bc.add_argument(
+        "--sim-tol", type=float, default=None,
+        help="relative tolerance for deterministic simulated results",
+    )
+    bc.add_argument(
+        "--wall-tol", type=float, default=None,
+        help="report-only relative threshold for wall-clock medians",
+    )
+    bc.add_argument(
+        "--all-rows", action="store_true", help="show every delta row, not only regressions"
+    )
+
+    m = sub.add_parser(
+        "metrics", help="run the canonical probe workload and print its metrics"
+    )
+    m.add_argument(
+        "-f", "--format", choices=("openmetrics", "json"), default="openmetrics"
+    )
+    m.add_argument("-o", "--output", metavar="FILE", help="write to FILE instead of stdout")
+
     sub.add_parser("list", help="show strategies, drivers, rail presets")
     return parser
 
@@ -149,6 +210,13 @@ def _cmd_pingpong(args) -> int:
     samples = sample_rails(plat) if args.strategy == "split_balance" else None
     session = Session(plat, strategy=args.strategy, strategy_opts=opts, samples=samples)
     res = run_pingpong(session, size, segments=args.segments, reps=args.reps)
+    if args.json:
+        import json
+
+        from .obs.perf import pingpong_point
+
+        print(json.dumps(pingpong_point(res, strategy=args.strategy), sort_keys=True))
+        return 0
     print(
         f"strategy={args.strategy} size={format_size(size)} segments={args.segments}:"
         f" one-way {res.one_way_us:.2f} us, {res.bandwidth_MBps:.1f} MB/s"
@@ -164,6 +232,13 @@ def _cmd_flood(args) -> int:
     samples = sample_rails(plat) if args.strategy == "split_balance" else None
     session = Session(plat, strategy=args.strategy, samples=samples)
     res = run_flood(session, size, count=args.count, window=args.window)
+    if args.json:
+        import json
+
+        from .obs.perf import flood_point
+
+        print(json.dumps(flood_point(res, strategy=args.strategy), sort_keys=True))
+        return 0
     print(
         f"flood strategy={args.strategy} {args.count}x{format_size(size)}"
         f" window={args.window}: {res.throughput_MBps:.1f} MB/s,"
@@ -277,6 +352,93 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .util.errors import BenchError
+
+    if args.bench_command == "run":
+        from .obs.perf import BenchRecorder, run_engine_suite, run_figure_suite
+
+        run_figures = args.figures is not None
+        run_engine = args.engine or not run_figures
+        suites = [s for s, on in (("engine", run_engine), ("figures", run_figures)) if on]
+        recorder = BenchRecorder(args.name or "+".join(suites), spec=_load_platform(args))
+        try:
+            if run_engine:
+                print("running engine micro-benchmarks ...")
+                run_engine_suite(recorder, wall_reps=args.wall_reps)
+            if run_figures:
+                run_figure_suite(
+                    recorder,
+                    figures=args.figures or None,
+                    reps=args.reps,
+                    progress=lambda fid: print(f"running {fid} ..."),
+                )
+            path = recorder.write(args.output)
+        except BenchError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"cannot write record: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: {len(recorder)} points, {len(recorder._wall)} wall-clock benches")
+        return 0
+
+    if args.bench_command == "compare":
+        from .obs import compare as compare_mod
+        from .obs.compare import compare_records, delta_table
+        from .obs.perf import load_record
+
+        try:
+            baseline = load_record(args.baseline)
+            current = load_record(args.current)
+        except BenchError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        report = compare_records(
+            baseline,
+            current,
+            sim_rel_tol=args.sim_tol if args.sim_tol is not None else compare_mod.SIM_REL_TOL,
+            wall_rel_tol=(
+                args.wall_tol if args.wall_tol is not None else compare_mod.WALL_REL_TOL
+            ),
+        )
+        show_all = args.all_rows or not report.ok
+        table = delta_table(report, only_regressions=not args.all_rows and not report.ok)
+        if show_all and report.deltas:
+            print(table.render())
+            print()
+        print(report.summary())
+        if args.gate:
+            return 0 if report.ok else 1
+        return 0
+
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .obs.openmetrics import render_openmetrics
+    from .obs.perf import metrics_probe
+
+    snapshot = metrics_probe(_load_platform(args))
+    if args.format == "openmetrics":
+        text = render_openmetrics(snapshot)
+    else:
+        text = json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
+    if args.output:
+        try:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+        except OSError as exc:
+            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("strategies:", ", ".join(available_strategies()))
     print("drivers:   ", ", ".join(available_drivers()))
@@ -298,6 +460,8 @@ _COMMANDS = {
     "sample": _cmd_sample,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
+    "metrics": _cmd_metrics,
     "list": _cmd_list,
 }
 

@@ -9,9 +9,15 @@ The three pieces compose (see README "Observability"):
   and rendezvous handshakes;
 * :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome-trace /
   Perfetto JSON and JSONL serialization, plus the per-request latency
-  decomposition (queueing / idle-poll tax / wire time).
+  decomposition (queueing / idle-poll tax / wire time);
+* :mod:`repro.obs.perf` / :mod:`repro.obs.compare` — the *across-run*
+  layer: self-describing ``BENCH_*.json`` run records and the
+  regression gate that diffs them against committed baselines;
+* :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text exposition
+  of any metrics snapshot.
 """
 
+from .compare import CompareReport, Delta, compare_records, delta_table
 from .export import (
     load_chrome_trace,
     to_chrome_trace,
@@ -28,10 +34,34 @@ from .metrics import (
     MetricsRegistry,
     MetricSpec,
 )
+from .openmetrics import parse_openmetrics, render_openmetrics, validate_openmetrics
+from .perf import (
+    BenchRecord,
+    BenchRecorder,
+    flood_point,
+    load_record,
+    metrics_probe,
+    pingpong_point,
+    platform_hash,
+)
 from .report import RequestLifecycle, lifecycle_report, lifecycle_table, poll_tax_by_rail
 from .spans import NULL_SPAN, Span, SpanError, SpanRecorder
 
 __all__ = [
+    "BenchRecord",
+    "BenchRecorder",
+    "CompareReport",
+    "Delta",
+    "compare_records",
+    "delta_table",
+    "load_record",
+    "pingpong_point",
+    "flood_point",
+    "metrics_probe",
+    "platform_hash",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "validate_openmetrics",
     "Counter",
     "Gauge",
     "Histogram",

@@ -251,18 +251,34 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile (upper edge of the q-th bucket)."""
+        """Linearly interpolated quantile (Prometheus-style).
+
+        The winning bucket is the first one whose cumulative count
+        reaches ``q * count``; the estimate interpolates within it
+        assuming uniform distribution, with the bucket bounds tightened
+        by the observed ``vmin``/``vmax`` (so ``quantile(0.0)`` is the
+        true minimum and ``quantile(1.0)`` the true maximum).  Accuracy
+        inside a bucket is still limited by the bucket width — values are
+        not retained individually, only ``vmin``/``vmax`` sharpen the
+        first/last populated buckets.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return 0.0
+        assert self.vmin is not None and self.vmax is not None
         rank = q * self.count
         seen = 0
         for i, c in enumerate(self.counts):
+            if not c:
+                continue
+            if seen + c >= rank:
+                lo = self.vmin if i == 0 else max(self.edges[i - 1], self.vmin)
+                hi = self.vmax if i == len(self.edges) else min(self.edges[i], self.vmax)
+                fraction = (rank - seen) / c
+                return min(max(lo + (hi - lo) * fraction, self.vmin), self.vmax)
             seen += c
-            if seen >= rank and c:
-                return self.edges[i] if i < len(self.edges) else (self.vmax or 0.0)
-        return self.vmax or 0.0
+        return self.vmax
 
     @property
     def full_name(self) -> str:

@@ -42,9 +42,29 @@ class TestHistogram:
         for v in (0.5, 1.5, 1.5, 3.0):
             h.observe(v)
         assert h.mean == pytest.approx(6.5 / 4)
-        assert h.quantile(0.0) == 1.0  # first non-empty bucket's edge
-        assert h.quantile(0.5) == 2.0
-        assert h.quantile(1.0) == 4.0
+        # interpolated within the winning bucket, sharpened by vmin/vmax
+        assert h.quantile(0.0) == 0.5  # true minimum
+        assert h.quantile(0.5) == pytest.approx(1.5)  # midway through (1, 2]
+        assert h.quantile(1.0) == 3.0  # true maximum, not the bare edge 4.0
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("t", edges=(0.0, 10.0, 20.0))
+        for v in (2.0, 4.0, 6.0, 8.0):  # all in the (0, 10] bucket
+            h.observe(v)
+        # uniform-within-bucket assumption: q=0.5 sits mid-bucket, bounded
+        # by the observed extremes rather than the bucket edges
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(0.0) == 2.0 and h.quantile(1.0) == 8.0
+        # monotone in q
+        qs = [h.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+    def test_quantile_overflow_bucket_uses_vmax(self):
+        h = Histogram("t", edges=(1.0,))
+        h.observe(5.0)
+        h.observe(9.0)
+        assert h.quantile(1.0) == 9.0
+        assert h.quantile(0.0) == 5.0
 
     def test_quantile_validation_and_empty(self):
         h = Histogram("t", edges=(1.0,))

@@ -1,10 +1,13 @@
 """Per-request lifecycle report: latency decomposition and the Fig 6
 idle-poll regression test."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro import Session, run_pingpong
 from repro.obs import lifecycle_report, lifecycle_table, poll_tax_by_rail
+from repro.obs.spans import Span
 from repro.util.units import MB
 
 
@@ -75,3 +78,106 @@ class TestLifecycle:
 
     def test_session_convenience_method(self, traced):
         assert traced.lifecycle_report(0) == lifecycle_report(traced, 0)
+
+
+# --------------------------------------------------------------------- #
+# hand-built session: the Fig 6 idle-poll decomposition on known windows
+# --------------------------------------------------------------------- #
+def _idle_poll(sid, node, rail, t0, t1, pkts=0):
+    return Span(
+        sid, None, node, "pump", "poll", "pump",
+        t0, t1, args={"rail": rail, "pkts": pkts},
+    )
+
+
+def _request(seq, submitted_at, first_commit_at, completed_at, size=1024):
+    return SimpleNamespace(
+        done=True,
+        peer=1,
+        tag=7,
+        seq=seq,
+        payload=SimpleNamespace(size=size),
+        submitted_at=submitted_at,
+        first_commit_at=first_commit_at,
+        completed_at=completed_at,
+    )
+
+
+class _FakeSpans:
+    def __init__(self, spans):
+        self._spans = list(spans)
+
+    def by_node(self, node):
+        return [s for s in self._spans if s.node == node]
+
+
+class _FakeSession:
+    """Just enough Session surface for lifecycle_report."""
+
+    def __init__(self, spans, sent_logs_by_node):
+        self.spans = _FakeSpans(spans)
+        self.engines = [
+            SimpleNamespace(node_id=node, sent_log=log)
+            for node, log in sorted(sent_logs_by_node.items())
+        ]
+
+    def engine(self, node_id):
+        return self.engines[node_id]
+
+
+class TestHandBuiltOverlap:
+    """Exact poll-tax arithmetic on fabricated windows — the numbers the
+    Fig 6 decomposition rests on, with no simulator in the loop."""
+
+    def make_session(self):
+        # request alive [10, 30]; polls overlap 2us (clipped head), 3us
+        # (contained), 2us (clipped tail); one poll fully outside, one
+        # poll that returned a packet (not idle) and must not count.
+        spans = [
+            _idle_poll(1, 0, "myri10g", 5.0, 12.0),   # overlap [10,12] = 2
+            _idle_poll(2, 0, "qsnet2", 15.0, 18.0),   # overlap = 3
+            _idle_poll(3, 0, "myri10g", 28.0, 35.0),  # overlap [28,30] = 2
+            _idle_poll(4, 0, "myri10g", 40.0, 45.0),  # outside -> 0
+            _idle_poll(5, 0, "qsnet2", 11.0, 13.0, pkts=1),  # busy poll -> 0
+            _idle_poll(6, 1, "myri10g", 10.0, 30.0),  # other node -> 0
+        ]
+        reqs = {0: [_request(0, 10.0, 14.0, 30.0)], 1: []}
+        return _FakeSession(spans, reqs)
+
+    def test_poll_tax_exact_per_rail(self):
+        rows = lifecycle_report(self.make_session(), node_id=0)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.poll_tax_by_rail == pytest.approx({"myri10g": 4.0, "qsnet2": 3.0})
+        assert row.poll_tax_us == pytest.approx(7.0)
+        assert row.queue_us == pytest.approx(4.0)
+        assert row.wire_us == pytest.approx(16.0)
+        assert row.total_us == pytest.approx(20.0)
+
+    def test_poll_tax_by_rail_aggregates_rows(self):
+        session = self.make_session()
+        # a second request overlapping only the tail poll on myri10g
+        session.engines[0].sent_log.append(_request(1, 41.0, 42.0, 44.0))
+        rows = lifecycle_report(session, node_id=0)
+        assert len(rows) == 2
+        tax = poll_tax_by_rail(rows)
+        # row 0: mx 4 + elan 3; row 1: mx overlap of [41,44] with [40,45] = 3
+        assert tax == pytest.approx({"myri10g": 7.0, "qsnet2": 3.0})
+
+    def test_zero_width_overlap_not_charged(self):
+        spans = [_idle_poll(1, 0, "myri10g", 0.0, 10.0)]
+        reqs = {0: [_request(0, 10.0, 11.0, 12.0)]}  # poll ends as it starts
+        rows = lifecycle_report(_FakeSession(spans, reqs), node_id=0)
+        assert rows[0].poll_tax_by_rail == {}
+        assert rows[0].poll_tax_us == 0.0
+
+    def test_lifecycle_table_exact_cells(self):
+        rows = lifecycle_report(self.make_session(), node_id=0)
+        table = lifecycle_table(rows)
+        assert table.headers == [
+            "node", "peer", "tag#seq", "bytes", "total us", "queue us",
+            "wire us", "poll myri10g (us)", "poll qsnet2 (us)",
+        ]
+        assert table.rows == [[0, 1, "7#0", 1024, 20.0, 4.0, 16.0, 4.0, 3.0]]
+        text = table.render()
+        assert "poll myri10g (us)" in text and "7#0" in text
