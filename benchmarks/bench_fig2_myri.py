@@ -7,8 +7,8 @@ aggregation: (a) latency 4 B-32 KB, (b) bandwidth 32 KB-8 MB.
 from repro.bench import report_figure, run_figure, write_reports
 
 
-def test_fig2a_myri_latency(benchmark, report_dir, recorder):
-    result = benchmark.pedantic(lambda: run_figure("fig2a", reps=2), rounds=1, iterations=1)
+def test_fig2a_myri_latency(benchmark, report_dir, recorder, bench_jobs):
+    result = benchmark.pedantic(lambda: run_figure("fig2a", reps=2, jobs=bench_jobs), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
     recorder.record_figure(result)
@@ -16,8 +16,8 @@ def test_fig2a_myri_latency(benchmark, report_dir, recorder):
     assert 2.5 <= result.sweep.point("regular", 4).one_way_us <= 3.1
 
 
-def test_fig2b_myri_bandwidth(benchmark, report_dir, recorder):
-    result = benchmark.pedantic(lambda: run_figure("fig2b", reps=2), rounds=1, iterations=1)
+def test_fig2b_myri_bandwidth(benchmark, report_dir, recorder, bench_jobs):
+    result = benchmark.pedantic(lambda: run_figure("fig2b", reps=2, jobs=bench_jobs), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
     recorder.record_figure(result)

@@ -10,8 +10,8 @@ from repro.bench import report_figure, run_figure, write_reports
 from repro.util.units import MB
 
 
-def test_fig4a_greedy2_latency(benchmark, report_dir, recorder):
-    result = benchmark.pedantic(lambda: run_figure("fig4a", reps=2), rounds=1, iterations=1)
+def test_fig4a_greedy2_latency(benchmark, report_dir, recorder, bench_jobs):
+    result = benchmark.pedantic(lambda: run_figure("fig4a", reps=2, jobs=bench_jobs), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
     recorder.record_figure(result)
@@ -23,8 +23,8 @@ def test_fig4a_greedy2_latency(benchmark, report_dir, recorder):
     assert result.sweep.point("2-seg dynamically balanced", 4).one_way_us >= best_single
 
 
-def test_fig4b_greedy2_bandwidth(benchmark, report_dir, recorder):
-    result = benchmark.pedantic(lambda: run_figure("fig4b", reps=2), rounds=1, iterations=1)
+def test_fig4b_greedy2_bandwidth(benchmark, report_dir, recorder, bench_jobs):
+    result = benchmark.pedantic(lambda: run_figure("fig4b", reps=2, jobs=bench_jobs), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
     recorder.record_figure(result)

@@ -9,8 +9,8 @@ from repro.bench import report_figure, run_figure, write_reports
 from repro.util.units import MB
 
 
-def test_fig5a_greedy4_latency(benchmark, report_dir, recorder):
-    result = benchmark.pedantic(lambda: run_figure("fig5a", reps=2), rounds=1, iterations=1)
+def test_fig5a_greedy4_latency(benchmark, report_dir, recorder, bench_jobs):
+    result = benchmark.pedantic(lambda: run_figure("fig5a", reps=2, jobs=bench_jobs), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
     recorder.record_figure(result)
@@ -21,8 +21,8 @@ def test_fig5a_greedy4_latency(benchmark, report_dir, recorder):
     assert result.sweep.point("4-seg dynamically balanced", 16).one_way_us >= best_single
 
 
-def test_fig5b_greedy4_bandwidth(benchmark, report_dir, recorder):
-    result = benchmark.pedantic(lambda: run_figure("fig5b", reps=2), rounds=1, iterations=1)
+def test_fig5b_greedy4_bandwidth(benchmark, report_dir, recorder, bench_jobs):
+    result = benchmark.pedantic(lambda: run_figure("fig5b", reps=2, jobs=bench_jobs), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
     recorder.record_figure(result)

@@ -10,8 +10,8 @@ from repro.bench import report_figure, run_figure, write_reports
 from repro.hardware.presets import MYRI_10G
 
 
-def test_fig6_latency(benchmark, report_dir, recorder):
-    result = benchmark.pedantic(lambda: run_figure("fig6", reps=2), rounds=1, iterations=1)
+def test_fig6_latency(benchmark, report_dir, recorder, bench_jobs):
+    result = benchmark.pedantic(lambda: run_figure("fig6", reps=2, jobs=bench_jobs), rounds=1, iterations=1)
     report_figure(result)
     write_reports([result], report_dir)
     recorder.record_figure(result)

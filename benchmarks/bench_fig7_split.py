@@ -11,9 +11,12 @@ from repro.bench.figures import fig7
 from repro.util.units import MB
 
 
-def test_fig7_split_bandwidth(benchmark, report_dir, samples, recorder):
+def test_fig7_split_bandwidth(benchmark, report_dir, samples, recorder, bench_jobs):
+    # fig7's default sampling is deterministic and equals the shared
+    # `samples` fixture; letting it sample keeps the plan portable so
+    # the sweep can fan out when REPRO_BENCH_JOBS > 1.
     result = benchmark.pedantic(
-        lambda: fig7(reps=2, samples=samples), rounds=1, iterations=1
+        lambda: fig7(reps=2, jobs=bench_jobs), rounds=1, iterations=1
     )
     report_figure(result)
     write_reports([result], report_dir)

@@ -58,3 +58,13 @@ def samples():
     """One init-time sampling shared by every benchmark (like NewMadeleine
     samples once at start-up)."""
     return sample_rails(paper_platform())
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Worker processes per figure sweep (``REPRO_BENCH_JOBS``, default 1).
+
+    Simulated results are bit-identical for any value — CI runs the suite
+    with ``REPRO_BENCH_JOBS=2`` and gates the resulting record against a
+    serial baseline."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))

@@ -17,6 +17,14 @@ rows/series the paper plots.  Session construction policy (see DESIGN.md):
   hetero-stripped transfers on the two-rail platform, with stripping
   ratios taken from init-time sampling.
 
+Figures are described by a :class:`FigurePlan` (curves + sizes) that is
+*rebuildable from its id alone*: the parallel sweep runner
+(:mod:`repro.obs.runner`) ships only ``(figure_id, label, size)`` tuples
+to worker processes, which reconstruct the plan locally — session
+factories hold simulator closures and are deliberately never pickled.
+A plan built with a caller-supplied :class:`SampleTable` is marked
+non-portable and always runs serially.
+
 Absolute values are simulation-calibrated, not testbed measurements; the
 assertions that accompany each figure live in
 ``tests/integration/test_paper_shapes.py``.
@@ -37,7 +45,10 @@ from ..util.units import KB, PAPER_BANDWIDTH_SIZES, PAPER_LATENCY_SIZES, geometr
 from .sweep import Curve, SweepResult, run_sweep, sweep_table
 
 __all__ = [
+    "FigurePlan",
     "FigureResult",
+    "figure_plan",
+    "run_plan",
     "fig2a",
     "fig2b",
     "fig3a",
@@ -51,6 +62,23 @@ __all__ = [
     "run_figure",
     "FIGURES",
 ]
+
+
+@dataclass(frozen=True)
+class FigurePlan:
+    """Everything needed to measure one figure (before any simulation).
+
+    ``portable`` means a worker process can rebuild an identical plan
+    from ``figure_id`` alone (all inputs are deterministic defaults);
+    only portable plans may be fanned out by the parallel runner.
+    """
+
+    figure_id: str
+    title: str
+    metric: Literal["latency", "bandwidth"]
+    curves: tuple[Curve, ...]
+    sizes: tuple[int, ...]
+    portable: bool = True
 
 
 @dataclass
@@ -96,27 +124,27 @@ class FigureResult:
 # --------------------------------------------------------------------- #
 # shared curve builders
 # --------------------------------------------------------------------- #
-def _single_platform_curves(rail: RailSpec) -> list[Curve]:
+def _single_platform_curves(rail: RailSpec) -> tuple[Curve, ...]:
     """Regular / 2-seg / 4-seg, with and without aggregation (Figs 2-3)."""
     plat = single_rail_platform(rail)
 
     def mk(strategy: str) -> Callable[[], Session]:
         return lambda: Session(plat, strategy=strategy)
 
-    return [
+    return (
         Curve("regular", mk("single_rail"), segments=1),
         Curve("2-seg", mk("single_rail"), segments=2),
         Curve("2-seg aggregated", mk("aggreg"), segments=2),
         Curve("4-seg", mk("single_rail"), segments=4),
         Curve("4-seg aggregated", mk("aggreg"), segments=4),
-    ]
+    )
 
 
-def _greedy_curves(segments: int, spec: Optional[PlatformSpec] = None) -> list[Curve]:
+def _greedy_curves(segments: int, spec: Optional[PlatformSpec] = None) -> tuple[Curve, ...]:
     """Forced-single-rail aggregated references + greedy (Figs 4-5)."""
     plat = spec or paper_platform()
     mx_name, elan_name = plat.rails[0].name, plat.rails[1].name
-    return [
+    return (
         Curve(
             f"{segments}-seg aggregated over Myri-10G",
             lambda: Session(plat, strategy="aggreg", strategy_opts={"rail": mx_name}),
@@ -132,145 +160,110 @@ def _greedy_curves(segments: int, spec: Optional[PlatformSpec] = None) -> list[C
             lambda: Session(plat, strategy="greedy"),
             segments=segments,
         ),
-    ]
-
-
-def _figure(
-    figure_id: str,
-    title: str,
-    metric: Literal["latency", "bandwidth"],
-    curves: Sequence[Curve],
-    sizes: Sequence[int],
-    reps: int,
-) -> FigureResult:
-    sweep = run_sweep(curves, sizes, reps=reps)
-    table = sweep_table(sweep, metric, title=f"{figure_id}: {title}")
-    return FigureResult(figure_id, title, metric, sweep, table)
+    )
 
 
 # --------------------------------------------------------------------- #
 # Figures 2-3: raw single-network performance, multi-segment messages
 # --------------------------------------------------------------------- #
-def fig2a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 2(a): NewMadeleine over Myri-10G — latency."""
+def _plan_fig2a(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
     from ..hardware.presets import MYRI_10G
 
-    return _figure(
+    return FigurePlan(
         "fig2a",
         "Myri-10G latency, regular vs multi-segment (+aggregation)",
         "latency",
         _single_platform_curves(MYRI_10G),
-        sizes or PAPER_LATENCY_SIZES,
-        reps,
+        tuple(sizes or PAPER_LATENCY_SIZES),
     )
 
 
-def fig2b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 2(b): NewMadeleine over Myri-10G — bandwidth."""
+def _plan_fig2b(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
     from ..hardware.presets import MYRI_10G
 
-    return _figure(
+    return FigurePlan(
         "fig2b",
         "Myri-10G bandwidth, regular vs multi-segment (+aggregation)",
         "bandwidth",
         _single_platform_curves(MYRI_10G),
-        sizes or PAPER_BANDWIDTH_SIZES,
-        reps,
+        tuple(sizes or PAPER_BANDWIDTH_SIZES),
     )
 
 
-def fig3a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 3(a): NewMadeleine over Quadrics — latency."""
+def _plan_fig3a(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
     from ..hardware.presets import QUADRICS_QM500
 
-    return _figure(
+    return FigurePlan(
         "fig3a",
         "Quadrics latency, regular vs multi-segment (+aggregation)",
         "latency",
         _single_platform_curves(QUADRICS_QM500),
-        sizes or PAPER_LATENCY_SIZES,
-        reps,
+        tuple(sizes or PAPER_LATENCY_SIZES),
     )
 
 
-def fig3b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 3(b): NewMadeleine over Quadrics — bandwidth."""
+def _plan_fig3b(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
     from ..hardware.presets import QUADRICS_QM500
 
-    return _figure(
+    return FigurePlan(
         "fig3b",
         "Quadrics bandwidth, regular vs multi-segment (+aggregation)",
         "bandwidth",
         _single_platform_curves(QUADRICS_QM500),
-        sizes or PAPER_BANDWIDTH_SIZES,
-        reps,
+        tuple(sizes or PAPER_BANDWIDTH_SIZES),
     )
 
 
 # --------------------------------------------------------------------- #
 # Figures 4-5: greedy balancing
 # --------------------------------------------------------------------- #
-def fig4a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 4(a): greedy balancing, 2-segment messages — latency."""
-    return _figure(
+def _plan_fig4a(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
+    return FigurePlan(
         "fig4a",
         "Greedy balancing with 2-segment messages — latency",
         "latency",
         _greedy_curves(2),
-        sizes or geometric_sizes(4, 16 * KB),
-        reps,
+        tuple(sizes or geometric_sizes(4, 16 * KB)),
     )
 
 
-def fig4b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 4(b): greedy balancing, 2-segment messages — bandwidth."""
-    return _figure(
+def _plan_fig4b(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
+    return FigurePlan(
         "fig4b",
         "Greedy balancing with 2-segment messages — bandwidth",
         "bandwidth",
         _greedy_curves(2),
-        sizes or PAPER_BANDWIDTH_SIZES,
-        reps,
+        tuple(sizes or PAPER_BANDWIDTH_SIZES),
     )
 
 
-def fig5a(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 5(a): greedy balancing, 4-segment messages — latency."""
-    return _figure(
+def _plan_fig5a(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
+    return FigurePlan(
         "fig5a",
         "Greedy balancing with 4-segment messages — latency",
         "latency",
         _greedy_curves(4),
-        sizes or geometric_sizes(16, 16 * KB),
-        reps,
+        tuple(sizes or geometric_sizes(16, 16 * KB)),
     )
 
 
-def fig5b(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 5(b): greedy balancing, 4-segment messages — bandwidth."""
-    return _figure(
+def _plan_fig5b(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
+    return FigurePlan(
         "fig5b",
         "Greedy balancing with 4-segment messages — bandwidth",
         "bandwidth",
         _greedy_curves(4),
-        sizes or PAPER_BANDWIDTH_SIZES,
-        reps,
+        tuple(sizes or PAPER_BANDWIDTH_SIZES),
     )
 
 
 # --------------------------------------------------------------------- #
 # Figure 6: aggregation on the fastest NIC + balanced large messages
 # --------------------------------------------------------------------- #
-def fig6(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
-    """Fig 6: aggregated eager messages on the fastest NIC — latency.
-
-    References are NIC-only sessions; the "dynamically balanced" curve is
-    ``aggreg_multirail`` on the two-rail platform and sits a constant
-    idle-NIC poll above the Quadrics-only curve.
-    """
+def _plan_fig6(sizes: Optional[Sequence[int]] = None) -> FigurePlan:
     plat = paper_platform()
     mx, elan = plat.rails[0], plat.rails[1]
-    curves = [
+    curves = (
         Curve(
             "2-seg aggregated over Myri-10G (NIC-only)",
             lambda: Session(single_rail_platform(mx), strategy="aggreg"),
@@ -286,35 +279,31 @@ def fig6(sizes: Optional[Sequence[int]] = None, reps: int = 3) -> FigureResult:
             lambda: Session(plat, strategy="aggreg_multirail"),
             segments=2,
         ),
-    ]
-    return _figure(
+    )
+    return FigurePlan(
         "fig6",
         "Aggregated eager on fastest NIC, balanced large — latency",
         "latency",
         curves,
-        sizes or PAPER_LATENCY_SIZES,
-        reps,
+        tuple(sizes or PAPER_LATENCY_SIZES),
     )
 
 
 # --------------------------------------------------------------------- #
 # Figure 7: packet stripping with adaptive threshold
 # --------------------------------------------------------------------- #
-def fig7(
+def _plan_fig7(
     sizes: Optional[Sequence[int]] = None,
-    reps: int = 3,
     samples: Optional[SampleTable] = None,
-) -> FigureResult:
-    """Fig 7: packet stripping with adaptive threshold — bandwidth.
-
-    The hetero-split ratios come from init-time sampling (run once here
-    and shared across the sweep, like NewMadeleine samples once at
-    initialization); the iso-split curve forces a 50/50 ratio.
-    """
+) -> FigurePlan:
     plat = paper_platform()
     mx, elan = plat.rails[0], plat.rails[1]
+    # Default sampling is deterministic (same table in every process), so
+    # the plan stays portable; an externally built table cannot be
+    # reconstructed by a worker and pins the plan to serial execution.
+    portable = samples is None
     table = samples if samples is not None else sample_rails(plat)
-    curves = [
+    curves = (
         Curve(
             "1 segment over Myri-10G",
             lambda: Session(single_rail_platform(mx), strategy="single_rail"),
@@ -336,15 +325,161 @@ def fig7(
             "hetero-split over both",
             lambda: Session(plat, strategy="split_balance", samples=table),
         ),
-    ]
-    return _figure(
+    )
+    return FigurePlan(
         "fig7",
         "Packet stripping with adaptive threshold — bandwidth",
         "bandwidth",
         curves,
-        sizes or PAPER_BANDWIDTH_SIZES,
-        reps,
+        tuple(sizes or PAPER_BANDWIDTH_SIZES),
+        portable=portable,
     )
+
+
+#: plan builders, keyed by figure id (fig7 additionally takes ``samples``).
+_PLANS: dict[str, Callable[..., FigurePlan]] = {
+    "fig2a": _plan_fig2a,
+    "fig2b": _plan_fig2b,
+    "fig3a": _plan_fig3a,
+    "fig3b": _plan_fig3b,
+    "fig4a": _plan_fig4a,
+    "fig4b": _plan_fig4b,
+    "fig5a": _plan_fig5a,
+    "fig5b": _plan_fig5b,
+    "fig6": _plan_fig6,
+    "fig7": _plan_fig7,
+}
+
+
+def figure_plan(
+    figure_id: str,
+    sizes: Optional[Sequence[int]] = None,
+    samples: Optional[SampleTable] = None,
+) -> FigurePlan:
+    """Build the measurement plan for one paper figure by id."""
+    try:
+        builder = _PLANS[figure_id]
+    except KeyError:
+        raise BenchError(
+            f"unknown figure {figure_id!r}; available: {sorted(_PLANS)}"
+        ) from None
+    if figure_id == "fig7":
+        return builder(sizes=sizes, samples=samples)
+    if samples is not None:
+        raise BenchError(f"{figure_id} does not take init-time samples")
+    return builder(sizes=sizes)
+
+
+def run_plan(
+    plan: FigurePlan,
+    reps: int = 3,
+    warmup: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Measure a plan, optionally fanning points out over worker processes.
+
+    ``jobs=None`` or ``1`` runs in-process; anything larger uses
+    :func:`repro.obs.runner.run_sweep_parallel` when the plan is portable
+    (results are bit-identical either way — each point is an isolated
+    simulator).  Non-portable plans silently run serially.
+    """
+    from ..obs.runner import resolve_jobs
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and plan.portable:
+        from ..obs.runner import run_sweep_parallel
+
+        sweep = run_sweep_parallel(plan, reps=reps, warmup=warmup, jobs=n_jobs)
+    else:
+        sweep = run_sweep(plan.curves, plan.sizes, reps=reps, warmup=warmup)
+    table = sweep_table(sweep, plan.metric, title=f"{plan.figure_id}: {plan.title}")
+    return FigureResult(plan.figure_id, plan.title, plan.metric, sweep, table)
+
+
+# --------------------------------------------------------------------- #
+# per-figure entry points (thin wrappers over plans, kept for callers)
+# --------------------------------------------------------------------- #
+def fig2a(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 2(a): NewMadeleine over Myri-10G — latency."""
+    return run_plan(figure_plan("fig2a", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig2b(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 2(b): NewMadeleine over Myri-10G — bandwidth."""
+    return run_plan(figure_plan("fig2b", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig3a(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 3(a): NewMadeleine over Quadrics — latency."""
+    return run_plan(figure_plan("fig3a", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig3b(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 3(b): NewMadeleine over Quadrics — bandwidth."""
+    return run_plan(figure_plan("fig3b", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig4a(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 4(a): greedy balancing, 2-segment messages — latency."""
+    return run_plan(figure_plan("fig4a", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig4b(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 4(b): greedy balancing, 2-segment messages — bandwidth."""
+    return run_plan(figure_plan("fig4b", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig5a(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 5(a): greedy balancing, 4-segment messages — latency."""
+    return run_plan(figure_plan("fig5a", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig5b(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 5(b): greedy balancing, 4-segment messages — bandwidth."""
+    return run_plan(figure_plan("fig5b", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig6(
+    sizes: Optional[Sequence[int]] = None, reps: int = 3, jobs: Optional[int] = None
+) -> FigureResult:
+    """Fig 6: aggregated eager messages on the fastest NIC — latency.
+
+    References are NIC-only sessions; the "dynamically balanced" curve is
+    ``aggreg_multirail`` on the two-rail platform and sits a constant
+    idle-NIC poll above the Quadrics-only curve.
+    """
+    return run_plan(figure_plan("fig6", sizes=sizes), reps=reps, jobs=jobs)
+
+
+def fig7(
+    sizes: Optional[Sequence[int]] = None,
+    reps: int = 3,
+    samples: Optional[SampleTable] = None,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Fig 7: packet stripping with adaptive threshold — bandwidth.
+
+    The hetero-split ratios come from init-time sampling (run once here
+    and shared across the sweep, like NewMadeleine samples once at
+    initialization); the iso-split curve forces a 50/50 ratio.
+    """
+    return run_plan(figure_plan("fig7", sizes=sizes, samples=samples), reps=reps, jobs=jobs)
 
 
 #: registry used by ``run_figure`` and the benchmark files.
@@ -363,7 +498,11 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
 
 
 def run_figure(figure_id: str, **kwargs) -> FigureResult:
-    """Run one paper figure by id (``"fig2a"`` ... ``"fig7"``)."""
+    """Run one paper figure by id (``"fig2a"`` ... ``"fig7"``).
+
+    Accepts the figure runner's keyword arguments (``sizes``, ``reps``,
+    ``jobs``; ``samples`` for fig7).
+    """
     try:
         runner = FIGURES[figure_id]
     except KeyError:

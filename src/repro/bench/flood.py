@@ -94,7 +94,7 @@ def run_flood(
 
     send_proc = spawn(sim, sender(), name="flood.sender")
     drain_proc = spawn(sim, drain(), name="flood.drain")
-    sim.run_until_idle()
+    session.run_until_idle()
     if not (send_proc.done and drain_proc.done):
         raise BenchError(
             f"flood stalled: sender done={send_proc.done},"

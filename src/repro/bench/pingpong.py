@@ -136,7 +136,7 @@ def run_pingpong(
 
     ping_proc = spawn(sim, ping(), name="pingpong.ping")
     pong_proc = spawn(sim, pong(), name="pingpong.pong")
-    sim.run_until_idle()
+    session.run_until_idle()
     if not (ping_proc.done and pong_proc.done):
         raise BenchError(
             f"ping-pong deadlocked: ping done={ping_proc.done},"

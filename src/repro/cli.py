@@ -101,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     f = sub.add_parser("figures", help="regenerate paper figures")
     f.add_argument("ids", nargs="*", help=f"subset of {sorted(FIGURES)} (default: all)")
     f.add_argument("--reps", type=int, default=3)
+    f.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan figure points over N worker processes (0 = all cores;"
+        " simulated results are bit-identical to a serial run)",
+    )
     f.add_argument("--plot", action="store_true", help="also render ASCII plots")
     f.add_argument("--out", metavar="DIR", help="write .txt/.csv reports under DIR")
 
@@ -155,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"run paper figures (subset of {sorted(FIGURES)}; bare flag = all)",
     )
     br.add_argument("--reps", type=int, default=2, help="simulated reps per figure point")
+    br.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the figure sweeps (0 = all cores; the"
+        " record's simulated points are bit-identical to --jobs 1)",
+    )
     br.add_argument(
         "--wall-reps", type=int, default=5, help="wall-clock repetitions (median kept)"
     )
@@ -255,7 +265,7 @@ def _cmd_figures(args) -> int:
         return 2
     results = []
     for figure_id in ids:
-        result = run_figure(figure_id, reps=args.reps)
+        result = run_figure(figure_id, reps=args.reps, jobs=args.jobs)
         report_figure(result)
         if args.plot:
             print(result.plot())
@@ -339,6 +349,12 @@ def _cmd_trace(args) -> int:
     except OSError as exc:
         print(f"cannot write trace: {exc}", file=sys.stderr)
         return 1
+    sim = session.sim
+    print(
+        f"kernel: {sim.events_executed} events executed,"
+        f" {sim.heap_compactions} heap compactions,"
+        f" tombstone ratio {sim.tombstone_ratio:.3f}"
+    )
     if not args.no_report:
         rows = lifecycle_report(session, node_id=0)
         print()
@@ -371,6 +387,7 @@ def _cmd_bench(args) -> int:
                     recorder,
                     figures=args.figures or None,
                     reps=args.reps,
+                    jobs=args.jobs,
                     progress=lambda fid: print(f"running {fid} ..."),
                 )
             path = recorder.write(args.output)

@@ -106,9 +106,22 @@ class Session:
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
+        self.sync_kernel_metrics()
 
     def run_until_idle(self, max_events: int = 50_000_000) -> None:
         self.sim.run_until_idle(max_events=max_events)
+        self.sync_kernel_metrics()
+
+    def sync_kernel_metrics(self) -> None:
+        """Publish the kernel's heap-health stats into the registry.
+
+        Called automatically after :meth:`run` / :meth:`run_until_idle`;
+        cheap enough to call again at any probe point.
+        """
+        sim = self.sim
+        compactions = self.metrics.counter("engine.heap_compactions")
+        compactions.add(sim.heap_compactions - compactions.value)
+        self.metrics.gauge("engine.tombstone_ratio").set(sim.tombstone_ratio)
 
     def stop(self) -> None:
         """Shut down all pumps (not required for the sim to terminate)."""

@@ -14,7 +14,9 @@ The three pieces compose (see README "Observability"):
   layer: self-describing ``BENCH_*.json`` run records and the
   regression gate that diffs them against committed baselines;
 * :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text exposition
-  of any metrics snapshot.
+  of any metrics snapshot;
+* :mod:`repro.obs.runner` — parallel sweep runner fanning figure points
+  over worker processes with a deterministic ordered merge.
 """
 
 from .compare import CompareReport, Delta, compare_records, delta_table
@@ -45,6 +47,7 @@ from .perf import (
     platform_hash,
 )
 from .report import RequestLifecycle, lifecycle_report, lifecycle_table, poll_tax_by_rail
+from .runner import PointTask, resolve_jobs, run_point, run_sweep_parallel
 from .spans import NULL_SPAN, Span, SpanError, SpanRecorder
 
 __all__ = [
@@ -82,4 +85,8 @@ __all__ = [
     "lifecycle_report",
     "lifecycle_table",
     "poll_tax_by_rail",
+    "PointTask",
+    "resolve_jobs",
+    "run_point",
+    "run_sweep_parallel",
 ]

@@ -129,6 +129,16 @@ SCHEMA: dict[str, MetricSpec] = {
             "engine.backlog.depth", "gauge", "1",
             "current strategy backlog of one node (last observed)",
         ),
+        MetricSpec(
+            "engine.heap_compactions", "counter", "1",
+            "in-place event-heap rebuilds triggered by tombstone pressure"
+            " (cancelled completion events piling up in the kernel heap)",
+        ),
+        MetricSpec(
+            "engine.tombstone_ratio", "gauge", "1",
+            "fraction of event-heap entries that are cancelled tombstones"
+            " (last observed at the end of a run)",
+        ),
     )
 }
 

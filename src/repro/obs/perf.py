@@ -407,10 +407,15 @@ def run_figure_suite(
     recorder: BenchRecorder,
     figures: Optional[Sequence[str]] = None,
     reps: int = 2,
+    jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> None:
     """Run paper figures, recording every curve point and per-figure wall
-    seconds; attaches the metrics probe if nothing recorded one yet."""
+    seconds; attaches the metrics probe if nothing recorded one yet.
+
+    ``jobs`` > 1 fans each figure's points over a worker pool
+    (:mod:`repro.obs.runner`); the simulated results — and therefore the
+    record's ``points`` section — are bit-identical to a serial run."""
     from ..bench.figures import FIGURES, run_figure
 
     ids = list(figures) if figures else sorted(FIGURES)
@@ -421,7 +426,7 @@ def run_figure_suite(
         if progress:
             progress(figure_id)
         t0 = time.perf_counter()
-        result = run_figure(figure_id, reps=reps)
+        result = run_figure(figure_id, reps=reps, jobs=jobs)
         recorder.record_wall_clock(f"figure.{figure_id}", [time.perf_counter() - t0])
         recorder.record_figure(result)
     if not recorder._metrics:

@@ -28,6 +28,22 @@ Invariants (property-tested in ``tests/property/test_flows_prop.py``):
   which it has a maximal rate;
 * work conservation — a single flow on an otherwise idle path gets the
   minimum capacity along its path.
+
+Incremental reallocation
+------------------------
+Starting, draining or cancelling a flow can only change the rates of
+flows in the *connected component* of links transitively reachable from
+the changed flow's path: max-min allocation decomposes exactly across
+link-disjoint components (progressive filling never moves capacity
+between components, and freeze order between components cannot change a
+component's own bottleneck sequence).  :meth:`FlowNetwork._reallocate`
+therefore recomputes rates only for that component, and within it skips
+the completion-event cancel/reschedule for flows whose rate came out
+bit-identical — the scheduled event already encodes the same completion
+time.  Flow iteration follows insertion order everywhere (``_flows`` is
+an ordered dict, never an id-ordered set), so event sequence numbers —
+the FIFO tie-break among equal timestamps — are reproducible across
+processes; the parallel sweep runner relies on this.
 """
 
 from __future__ import annotations
@@ -151,7 +167,9 @@ def max_min_rates(
             counts[link] = counts.get(link, 0) + 1
 
     rates: dict[Flow, float] = {}
-    unfrozen = set(flows)
+    # insertion-ordered (not an id-hashed set) so the float update order —
+    # and with it the last-ulp result — is reproducible across processes.
+    unfrozen: dict[Flow, None] = dict.fromkeys(flows)
     while unfrozen:
         # Fair share of each link still crossed by unfrozen flows.
         bottleneck: Optional[Link] = None
@@ -169,7 +187,7 @@ def max_min_rates(
         frozen_now = [f for f in unfrozen if bottleneck in f.path]
         for f in frozen_now:
             rates[f] = best_share
-            unfrozen.discard(f)
+            del unfrozen[f]
             for link in f.path:
                 residual[link] = max(0.0, residual[link] - best_share)
                 counts[link] -= 1
@@ -181,10 +199,15 @@ class FlowNetwork:
 
     def __init__(self, sim: Simulator):
         self.sim = sim
-        self._flows: set[Flow] = set()
+        #: insertion-ordered so reallocation visits flows deterministically
+        #: (event seq assignment must not depend on id()-hash order).
+        self._flows: dict[Flow, None] = {}
         self._fid = itertools.count(1)
         self.completed_count = 0
         self.total_bytes_completed = 0.0
+        #: completion events actually (re)scheduled — the regression
+        #: counter for the incremental-reallocation fast path.
+        self.reschedule_count = 0
 
     @property
     def active_flows(self) -> frozenset[Flow]:
@@ -225,10 +248,10 @@ class FlowNetwork:
                 self.sim.schedule(0.0, on_drain, flow)
             self.sim.schedule(extra_latency, self._finish, flow)
             return flow
-        self._flows.add(flow)
+        self._flows[flow] = None
         for link in flow.path:
             link.active_flows.add(flow)
-        self._reallocate()
+        self._reallocate(flow)
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -240,11 +263,11 @@ class FlowNetwork:
         flow.done = True
         flow.on_complete = None
         flow.on_drain = None
-        self._reallocate()
+        self._reallocate(flow)
 
     # ------------------------------------------------------------------ #
     def _detach(self, flow: Flow) -> None:
-        self._flows.discard(flow)
+        self._flows.pop(flow, None)
         for link in flow.path:
             link.active_flows.discard(flow)
         if flow._completion_ev is not None:
@@ -260,20 +283,56 @@ class FlowNetwork:
                 f.remaining = max(0.0, f.remaining - f.rate * elapsed)
             f.last_update = now
 
-    def _reallocate(self) -> None:
-        """Recompute max-min rates and reschedule completions."""
+    def _component(self, origin: Flow) -> list[Flow]:
+        """Active flows transitively sharing links with ``origin``'s path.
+
+        ``origin`` itself is included when still active.  The returned
+        list follows ``_flows`` insertion order so event scheduling stays
+        deterministic regardless of traversal order.
+        """
+        seen_links: set[Link] = set(origin.path)
+        member: set[Flow] = set()
+        stack: list[Link] = list(origin.path)
+        while stack:
+            link = stack.pop()
+            for f in link.active_flows:
+                if f not in member:
+                    member.add(f)
+                    for other in f.path:
+                        if other not in seen_links:
+                            seen_links.add(other)
+                            stack.append(other)
+        if len(member) == len(self._flows):
+            return list(self._flows)
+        return [f for f in self._flows if f in member]
+
+    def _reallocate(self, origin: Optional[Flow] = None) -> None:
+        """Recompute max-min rates and reschedule stale completions.
+
+        With ``origin`` given (the flow that just started, drained or was
+        cancelled), only its link-connected component is recomputed — any
+        other flow's allocation is provably unchanged (see module
+        docstring).  Within the component, a flow whose rate came out
+        bit-identical keeps its already-scheduled completion event: the
+        event encodes the same completion time, so cancelling and
+        re-pushing it would only grow the heap with a tombstone.
+        """
         self._settle()
-        rates = max_min_rates(self._flows)
-        for f in self._flows:
+        affected = self._component(origin) if origin is not None else list(self._flows)
+        rates = max_min_rates(affected)
+        schedule = self.sim.schedule
+        for f in affected:
             new_rate = rates.get(f, 0.0)
-            f.rate = new_rate
-            if f._completion_ev is not None:
-                f._completion_ev.cancel()
-                f._completion_ev = None
             if new_rate <= _EPS:  # pragma: no cover - defensive
                 raise FlowError(f"flow {f.fid} allocated zero rate")
-            eta = f.remaining / new_rate
-            f._completion_ev = self.sim.schedule(eta, self._on_drain, f)
+            ev = f._completion_ev
+            if new_rate == f.rate and ev is not None and ev.alive:
+                continue
+            f.rate = new_rate
+            if ev is not None:
+                ev.cancel()
+            self.reschedule_count += 1
+            f._completion_ev = schedule(f.remaining / new_rate, self._on_drain, f)
 
     def _on_drain(self, flow: Flow) -> None:
         """The flow's last byte has left; deliver after propagation."""
@@ -289,9 +348,9 @@ class FlowNetwork:
             self.sim.schedule(flow.extra_latency, self._finish, flow)
         else:
             self._finish(flow)
-        # Remaining flows speed up.
+        # Remaining flows sharing links with the drained one speed up.
         if self._flows:
-            self._reallocate()
+            self._reallocate(flow)
 
     def _finish(self, flow: Flow) -> None:
         flow.done = True

@@ -1,0 +1,113 @@
+"""Determinism and plumbing tests for the parallel sweep runner.
+
+The contract under test: fanning figure points over worker processes
+produces results **bit-identical** to the serial sweep — same floats,
+same record layout — because every point is an isolated deterministic
+simulator and the merge is ordered.
+"""
+
+import json
+
+import pytest
+
+from repro import paper_platform, sample_rails
+from repro.bench.figures import figure_plan, run_plan
+from repro.obs.perf import BenchRecorder, run_figure_suite
+from repro.obs.runner import PointTask, resolve_jobs, run_point, run_sweep_parallel
+from repro.util.errors import BenchError
+
+SIZES = [4, 1024, 65536]
+
+
+def _points(result):
+    return {
+        (label, size): (pp.one_way_us, pp.bandwidth_MBps)
+        for label in result.sweep.curves
+        for size, pp in result.sweep.results[label].items()
+    }
+
+
+@pytest.mark.parametrize("figure_id", ["fig4a", "fig7"])
+def test_parallel_sweep_is_bit_identical(figure_id):
+    plan = figure_plan(figure_id, sizes=SIZES)
+    serial = run_plan(plan, reps=2, jobs=1)
+    parallel = run_plan(plan, reps=2, jobs=4)
+    assert serial.sweep.sizes == parallel.sweep.sizes
+    assert serial.sweep.curves == parallel.sweep.curves
+    assert _points(serial) == _points(parallel)
+
+
+def test_record_results_identical_serial_vs_parallel():
+    rec_serial = BenchRecorder("serial")
+    rec_parallel = BenchRecorder("parallel")
+    run_figure_suite(rec_serial, figures=["fig4a"], reps=1, jobs=1)
+    run_figure_suite(rec_parallel, figures=["fig4a"], reps=1, jobs=2)
+    serial_points = rec_serial.finish().points
+    parallel_points = rec_parallel.finish().points
+    assert json.dumps(serial_points, sort_keys=True) == json.dumps(
+        parallel_points, sort_keys=True
+    )
+
+
+def test_run_point_matches_in_process_pingpong():
+    from repro.bench.pingpong import run_pingpong
+
+    plan = figure_plan("fig4a")
+    curve = plan.curves[0]
+    row = run_point(PointTask("fig4a", curve.label, 1024, 2, 1))
+    direct = run_pingpong(
+        curve.session_factory(), 1024, segments=curve.segments, reps=2, warmup=1
+    )
+    assert row["one_way_us"] == direct.one_way_us
+    assert row["segments"] == curve.segments
+
+
+def test_ragged_sizes_skip_like_serial():
+    # size 2 cannot form 4-seg messages: both paths must skip identically
+    plan = figure_plan("fig5a", sizes=[2, 64])
+    serial = run_plan(plan, reps=1, jobs=1)
+    parallel = run_plan(plan, reps=1, jobs=2)
+    assert serial.sweep.sizes == parallel.sweep.sizes
+    assert _points(serial) == _points(parallel)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1  # 0 = all cores
+    with pytest.raises(BenchError):
+        resolve_jobs(-1)
+
+
+def test_non_portable_plan_rejected_by_runner_but_runs_serially():
+    table = sample_rails(paper_platform())
+    plan = figure_plan("fig7", sizes=[1024], samples=table)
+    assert not plan.portable
+    with pytest.raises(BenchError):
+        run_sweep_parallel(plan, reps=1, jobs=2)
+    result = run_plan(plan, reps=1, jobs=2)  # falls back to serial
+    assert _points(result)
+
+
+def test_unknown_curve_label_rejected():
+    with pytest.raises(BenchError):
+        run_point(PointTask("fig4a", "no such curve", 64, 1, 1))
+
+
+def test_cli_bench_run_jobs_smoke(tmp_path):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_jobs.json"
+    rc = main(
+        [
+            "bench", "run",
+            "--figures", "fig4a",
+            "--reps", "1",
+            "--jobs", "2",
+            "-o", str(out),
+        ]
+    )
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["points"]

@@ -181,3 +181,107 @@ def test_cancelled_event_releases_callback_reference():
     ev = sim.schedule(1.0, lambda: None)
     ev.cancel()
     assert ev.fn is None and ev.args == ()
+
+
+# --------------------------------------------------------------------- #
+# kernel fast paths: live counter, zero-delay lane, tombstone compaction
+# --------------------------------------------------------------------- #
+def test_pending_counts_zero_delay_lane():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.schedule(0.0, fired.append, "a")
+        ev_b = sim.schedule(0.0, fired.append, "b")
+        assert sim.pending == 3  # a, b and the t=2 heap event
+        ev_b.cancel()
+        assert sim.pending == 2
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, fired.append, "late")
+    assert sim.pending == 2
+    sim.run()
+    assert fired == ["a", "late"]
+    assert sim.pending == 0
+
+
+def test_events_scheduled_counts_cancelled_too():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    ev = sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    sim.run()
+    assert sim.events_scheduled == 2
+    assert sim.events_executed == 1
+
+
+def test_step_picks_earlier_of_fifo_and_heap():
+    sim = Simulator()
+    out = []
+
+    def first():
+        sim.schedule(0.0, out.append, "zero")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, out.append, "heap")
+    while sim.step():
+        pass
+    assert out == ["heap", "zero"]
+
+
+def test_tombstone_ratio_reports_dead_fraction():
+    sim = Simulator()
+    sim._compact_min_dead = 1000  # effectively disable compaction
+    evs = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for ev in evs[:4]:
+        ev.cancel()
+    assert sim.tombstone_ratio == pytest.approx(0.4)
+    assert sim.heap_compactions == 0
+    sim.run()
+    assert sim.tombstone_ratio == 0.0
+
+
+def test_heap_compaction_triggers_and_preserves_order():
+    sim = Simulator()
+    sim._compact_min_dead = 8
+    out = []
+    for i in range(32):
+        ev = sim.schedule(float(i + 1), out.append, i)
+        if i % 4 != 0:
+            ev.cancel()
+    assert sim.heap_compactions >= 1
+    assert sim.tombstone_ratio < 0.5
+    sim.run()
+    assert out == [i for i in range(32) if i % 4 == 0]
+    assert sim.pending == 0
+
+
+def test_compaction_during_run_keeps_local_heap_binding():
+    sim = Simulator()
+    sim._compact_min_dead = 4
+    out = []
+    later = [sim.schedule(10.0 + i, out.append, f"late{i}") for i in range(8)]
+
+    def killer():
+        for ev in later:
+            ev.cancel()
+        sim.schedule(1.0, out.append, "after")
+
+    sim.schedule(1.0, killer)
+    sim.run()
+    assert out == ["after"]
+    assert sim.heap_compactions >= 1
+
+
+def test_cancel_in_fifo_lane_does_not_count_as_heap_tombstone():
+    sim = Simulator()
+    out = []
+
+    def first():
+        ev = sim.schedule(0.0, out.append, "never")
+        ev.cancel()
+        assert sim.tombstone_ratio == 0.0
+
+    sim.schedule(1.0, first)
+    sim.run_until_idle()
+    assert out == []

