@@ -30,6 +30,7 @@ from .core.sampling import SampleTable, sample_rails
 from .core.matching import ANY_SOURCE
 from .core.session import Session
 from .core.strategies import available_strategies, make_strategy, register_strategy
+from .faults.plan import FaultEvent, FaultPlan, random_plan
 from .hardware.presets import (
     GIGE_TCP,
     IB_DDR,
@@ -64,6 +65,9 @@ __all__ = [
     "available_strategies",
     "make_strategy",
     "register_strategy",
+    "FaultEvent",
+    "FaultPlan",
+    "random_plan",
     "ReproError",
     "__version__",
 ]

@@ -16,6 +16,7 @@ from typing import Callable, Optional
 
 from ..core.sampling import sample_rails
 from ..core.session import Session
+from ..faults.plan import FaultEvent, FaultPlan
 from ..hardware.presets import paper_platform, single_rail_platform
 from ..hardware.spec import PlatformSpec
 from ..util.errors import BenchError
@@ -48,6 +49,23 @@ def _two_rail(strategy: str):
 def _split_balance(plat: Optional[PlatformSpec]) -> Session:
     plat = plat or paper_platform()
     return Session(plat, strategy="split_balance", samples=sample_rails(plat), trace=True)
+
+
+def _failover(plat: Optional[PlatformSpec]) -> Session:
+    plat = plat or paper_platform()
+    # all faults land inside the single bulk ping-pong round (the traced
+    # workload runs each round to idle, so the schedule must overlap the
+    # first round's traffic): a transient send error eats the opening
+    # handshake wrapper, then each rail is cut once mid-DMA — the lost
+    # chunks retry on the surviving rail.  Outages never overlap.
+    plan = FaultPlan(
+        [
+            FaultEvent("drop", 1.0, plat.rails[1].name, count=1),
+            FaultEvent("down", 60.0, plat.rails[1].name, duration_us=400.0),
+            FaultEvent("down", 4000.0, plat.rails[0].name, duration_us=500.0),
+        ]
+    )
+    return Session(plat, strategy="aggreg_multirail", trace=True, faults=plan)
 
 
 def _single_rail(rail_index: int):
@@ -95,6 +113,13 @@ TRACE_TARGETS: dict[str, TraceTarget] = {
             "adaptive packet stripping over both rails (Fig 7)",
             _split_balance,
             workload=((256, 2, 2), (8 * MB, 1, 1)),
+        ),
+        TraceTarget(
+            "failover",
+            "rail outages mid ping-pong: eager and DMA traffic failing"
+            " over to the surviving rail (fault.retries > 0)",
+            _failover,
+            workload=((4 * MB, 2, 2),),
         ),
         TraceTarget(
             "pingpong",

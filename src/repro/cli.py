@@ -191,6 +191,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--all-rows", action="store_true", help="show every delta row, not only regressions"
     )
 
+    c = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: every strategy vs random fault plans,"
+        " checked against end-to-end delivery invariants",
+    )
+    c.add_argument(
+        "--seeds", type=int, default=20, metavar="N",
+        help="number of random fault plans per strategy (seeds 0..N-1)",
+    )
+    c.add_argument(
+        "--strategies", default="all", metavar="NAMES",
+        help="comma-separated strategy names, or 'all' (default)",
+    )
+    c.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (0 = all cores; results are identical to"
+        " a serial run)",
+    )
+    c.add_argument(
+        "--horizon", type=float, default=None, metavar="US",
+        help="fault horizon per case in simulated microseconds",
+    )
+    c.add_argument(
+        "--messages", type=int, default=None, metavar="N",
+        help="messages per case (mixed sizes, both directions)",
+    )
+    c.add_argument(
+        "--save-failing", metavar="DIR",
+        help="write each failing case's FaultPlan JSON into DIR for replay",
+    )
+
     m = sub.add_parser(
         "metrics", help="run the canonical probe workload and print its metrics"
     )
@@ -355,6 +386,12 @@ def _cmd_trace(args) -> int:
         f" {sim.heap_compactions} heap compactions,"
         f" tombstone ratio {sim.tombstone_ratio:.3f}"
     )
+    if session.faults is not None:
+        health = session.faults.health_report()
+        print("faults:", ", ".join(f"{rail}={h}" for rail, h in health.items()))
+        for name, value in sorted(session.metrics.snapshot().items()):
+            if name.startswith("fault.") and not isinstance(value, dict) and value:
+                print(f"  {name} = {value:g}")
     if not args.no_report:
         rows = lifecycle_report(session, node_id=0)
         print()
@@ -468,6 +505,33 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .faults.chaos import (
+        DEFAULT_HORIZON_US,
+        DEFAULT_MESSAGES,
+        run_chaos,
+        save_failing_plans,
+    )
+    from .util.errors import ConfigError
+
+    try:
+        report = run_chaos(
+            seeds=args.seeds,
+            strategies=args.strategies,
+            jobs=args.jobs,
+            horizon_us=args.horizon if args.horizon is not None else DEFAULT_HORIZON_US,
+            messages=args.messages if args.messages is not None else DEFAULT_MESSAGES,
+        )
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(report.summary())
+    if not report.ok and args.save_failing:
+        for path in save_failing_plans(report, args.save_failing):
+            print(f"replay artifact: {path}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "pingpong": _cmd_pingpong,
     "flood": _cmd_flood,
@@ -478,6 +542,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
     "metrics": _cmd_metrics,
     "list": _cmd_list,
 }

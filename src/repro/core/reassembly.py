@@ -6,6 +6,15 @@ reassembled on the receiving side", §4).  Chunks may arrive in any order
 and, across rails, with arbitrary interleaving; the buffer tracks covered
 intervals and detects both completion and protocol violations (overlap,
 out-of-range offsets).
+
+Retried sends (the fault-recovery path) can deliver the *same* chunk
+twice — once from a transfer presumed lost and once from its retry — or
+deliver a chunk late, after its neighbours already covered the range.
+An exact re-delivery of an already-received chunk is therefore tolerated:
+:meth:`ReassemblyBuffer.add` returns ``False`` and counts it in
+:attr:`ReassemblyBuffer.duplicates` instead of raising.  A *partial*
+overlap still raises — retries always re-send identical ``(offset,
+length)`` ranges, so a partial overlap can only be a protocol bug.
 """
 
 from __future__ import annotations
@@ -32,6 +41,10 @@ class ReassemblyBuffer:
         #: the result will be virtual.
         self._chunks: Optional[list[tuple[int, bytes]]] = []
         self._any_virtual = False
+        #: exact (start, end) ranges already added — dup detection.
+        self._added: set[tuple[int, int]] = set()
+        #: exact duplicate chunks dropped (retried sends delivering twice).
+        self.duplicates = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -46,8 +59,12 @@ class ReassemblyBuffer:
     def missing_bytes(self) -> int:
         return self.total_length - self._received
 
-    def add(self, offset: int, payload: Payload) -> None:
-        """Insert one chunk; raises :class:`ProtocolError` on overlap."""
+    def add(self, offset: int, payload: Payload) -> bool:
+        """Insert one chunk; returns ``False`` for an exact duplicate.
+
+        Raises :class:`ProtocolError` on a *partial* overlap (same range
+        re-sent is a retry; a different overlapping range is a bug).
+        """
         length = payload.size
         if length <= 0:
             raise ProtocolError("empty reassembly chunk")
@@ -56,6 +73,9 @@ class ReassemblyBuffer:
             raise ProtocolError(
                 f"chunk [{start},{end}) outside segment of {self.total_length} bytes"
             )
+        if (start, end) in self._added:
+            self.duplicates += 1
+            return False
         # insertion point + overlap check against neighbours
         idx = 0
         for i, (s, e) in enumerate(self._intervals):
@@ -67,6 +87,7 @@ class ReassemblyBuffer:
             idx = i + 1
         self._intervals.insert(idx, (start, end))
         self._merge_around(idx)
+        self._added.add((start, end))
         self._received += length
         if payload.is_virtual:
             self._any_virtual = True
@@ -74,6 +95,7 @@ class ReassemblyBuffer:
         elif self._chunks is not None:
             assert payload.data is not None
             self._chunks.append((offset, payload.data))
+        return True
 
     def _merge_around(self, idx: int) -> None:
         ivs = self._intervals

@@ -17,6 +17,21 @@ Protocol (per large segment):
 Reserving at *initiate* time (not at ACK) means a rail that has been
 promised to a transfer is never double-booked by the strategy while the
 handshake is in flight.
+
+Failover (fault injection active)
+---------------------------------
+A chunk can die three ways: the launch hits a NIC whose rail is already
+down, the rail is cut mid-transfer, or the data is lost in the
+propagation window *after* the sender drained it (when the send request
+may already be complete).  In every case the driver reports the loss via
+``on_lost`` after the detection delay and :meth:`RdvManager.on_chunk_lost`
+retries the chunk — on the first usable rail with an idle DMA engine,
+with exponential backoff per attempt, parking (timed re-probe) when no
+rail qualifies.  Per-offset drain bookkeeping makes completion exactly
+once, and completed send states are kept in ``_out_done`` so a
+post-completion loss can still be retried.  The receive side drops exact
+duplicates (reassembly returns ``False``) and chunks for already-finished
+rendezvous (``_done_in``) instead of raising.
 """
 
 from __future__ import annotations
@@ -35,22 +50,45 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["RdvManager", "RdvSendState", "RdvRecvState"]
 
+#: retry backoff: first retry after BASE µs, doubling per attempt, capped.
+RETRY_BASE_US = 5.0
+RETRY_CAP_US = 160.0
+#: re-probe interval while no usable rail has an idle DMA engine.
+RETRY_PARK_US = 25.0
+
 
 class RdvSendState:
     """Sender-side bookkeeping for one rendezvous."""
 
-    __slots__ = ("req_id", "segment", "chunks", "acked", "drained", "started_at")
+    __slots__ = (
+        "req_id",
+        "segment",
+        "chunks",
+        "acked",
+        "drained_offsets",
+        "completed",
+        "retry_attempts",
+        "started_at",
+    )
 
     def __init__(self, req_id: int, segment: Segment, chunks: tuple[tuple[int, int, int], ...], now: float):
         self.req_id = req_id
         self.segment = segment
         self.chunks = chunks
         self.acked = False
-        self.drained = 0
+        #: chunk offsets whose first drain has been counted (a retry of a
+        #: post-drain loss drains again without re-counting).
+        self.drained_offsets: set[int] = set()
+        self.completed = False
+        #: per-offset retry count (drives the exponential backoff).
+        self.retry_attempts: dict[int, int] = {}
         self.started_at = now
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<RdvSend {self.req_id} chunks={len(self.chunks)} drained={self.drained}>"
+        return (
+            f"<RdvSend {self.req_id} chunks={len(self.chunks)}"
+            f" drained={len(self.drained_offsets)}>"
+        )
 
 
 class RdvRecvState:
@@ -76,7 +114,14 @@ class RdvManager:
         self._req_ids = itertools.count(1)
         self._out: dict[int, RdvSendState] = {}
         self._in: dict[tuple[int, int], RdvRecvState] = {}
+        #: completed send states, retained only while faults are active so
+        #: a chunk lost *after* completion can still be retried.
+        self._out_done: dict[int, RdvSendState] = {}
+        #: finished receive keys, retained only while faults are active so
+        #: late/duplicate chunks are recognized and dropped.
+        self._done_in: set[tuple[int, int]] = set()
         self._m_handshake = engine.session.metrics.histogram("engine.rdv.handshake_us")
+        self._m_rx_dropped = None  # fault.rx_dropped, resolved on first drop
         # statistics
         self.initiated = 0
         self.split_count = 0
@@ -122,45 +167,108 @@ class RdvManager:
             raise ProtocolError(f"duplicate RDV_ACK for request {ack.req_id}")
         state.acked = True
         seg = state.segment
+        faults = self.engine._faults
         cost = 0.0
         for rail_index, offset, length in state.chunks:
             drv = self.engine.driver(rail_index)
             chunk_payload = seg.payload.slice(offset, length)
+            on_lost = None
+            if faults is not None:
+                on_lost = self._make_on_lost(state, rail_index, offset, length)
             cost += drv.start_dma(
                 dst_node=seg.dst_node,
                 req_id=state.req_id,
                 offset=offset,
                 payload=chunk_payload,
                 delay=cost,
-                on_drain=lambda _f, s=state, r=rail_index: self._chunk_drained(s, r),
+                on_drain=lambda _f, s=state, r=rail_index, o=offset: self._chunk_drained(s, r, o),
+                on_lost=on_lost,
             )
         return cost
 
-    def _chunk_drained(self, state: RdvSendState, rail_index: int) -> None:
+    def _make_on_lost(self, state: RdvSendState, rail_index: int, offset: int, length: int):
+        return lambda engine_reserved: self.on_chunk_lost(
+            state, offset, length, rail_index, engine_reserved
+        )
+
+    def _chunk_drained(self, state: RdvSendState, rail_index: int, offset: int) -> None:
         self.engine.driver(rail_index).nic.release_dma()
-        state.drained += 1
-        if state.drained == len(state.chunks):
-            del self._out[state.req_id]
-            now = self.engine.sim.now
-            self._m_handshake.observe(now - state.started_at)
-            spans = self.engine.spans
-            if spans.enabled:
-                spans.add(
-                    self.engine.node_id,
-                    "rdv",
-                    f"rdv#{state.req_id}",
-                    "rdv",
-                    state.started_at,
-                    now,
-                    {
-                        "req_id": state.req_id,
-                        "bytes": state.segment.size,
-                        "chunks": len(state.chunks),
-                        "rails": [c[0] for c in state.chunks],
-                        "dst": state.segment.dst_node,
-                    },
+        if offset in state.drained_offsets:
+            # retry of a chunk lost *after* its first drain: only the
+            # engine release matters, completion was already counted
+            return
+        state.drained_offsets.add(offset)
+        if state.completed or len(state.drained_offsets) < len(state.chunks):
+            return
+        state.completed = True
+        del self._out[state.req_id]
+        if self.engine._faults is not None:
+            self._out_done[state.req_id] = state
+        now = self.engine.sim.now
+        self._m_handshake.observe(now - state.started_at)
+        spans = self.engine.spans
+        if spans.enabled:
+            spans.add(
+                self.engine.node_id,
+                "rdv",
+                f"rdv#{state.req_id}",
+                "rdv",
+                state.started_at,
+                now,
+                {
+                    "req_id": state.req_id,
+                    "bytes": state.segment.size,
+                    "chunks": len(state.chunks),
+                    "rails": [c[0] for c in state.chunks],
+                    "dst": state.segment.dst_node,
+                },
+            )
+        state.segment.request._complete()
+
+    # -- failover ----------------------------------------------------------
+    def on_chunk_lost(
+        self,
+        state: RdvSendState,
+        offset: int,
+        length: int,
+        rail_index: int,
+        engine_reserved: bool,
+    ) -> None:
+        """One DMA chunk died on ``rail_index``: retry with backoff."""
+        if engine_reserved:
+            # the dead transfer still held its sending DMA engine (lost
+            # at launch or mid-flight); releasing wakes the pump
+            self.engine.driver(rail_index).nic.release_dma()
+        self.engine.fault_retry_counter(rail_index).add()
+        attempt = state.retry_attempts.get(offset, 0)
+        state.retry_attempts[offset] = attempt + 1
+        delay = min(RETRY_BASE_US * (2.0 ** attempt), RETRY_CAP_US)
+        self.engine.sim.schedule(delay, self._retry_chunk, state, offset, length)
+
+    def _retry_chunk(self, state: RdvSendState, offset: int, length: int) -> None:
+        """Re-send one lost chunk on the best rail currently available.
+
+        Fastest usable rail with an idle DMA engine wins (failover: the
+        chunk need not ride its original rail).  When none qualifies the
+        retry parks on a timed re-probe — fault plans guarantee outages
+        are finite, so this always terminates.
+        """
+        engine = self.engine
+        for idx in engine._order:
+            drv = engine.drivers[idx]
+            if drv.usable and drv.dma_idle:
+                drv.nic.reserve_dma()
+                drv.start_dma(
+                    dst_node=state.segment.dst_node,
+                    req_id=state.req_id,
+                    offset=offset,
+                    payload=state.segment.payload.slice(offset, length),
+                    delay=0.0,
+                    on_drain=lambda _f, s=state, r=idx, o=offset: self._chunk_drained(s, r, o),
+                    on_lost=self._make_on_lost(state, idx, offset, length),
                 )
-            state.segment.request._complete()
+                return
+        engine.sim.schedule(RETRY_PARK_US, self._retry_chunk, state, offset, length)
 
     def send_request(self, req_id: int):
         """The outstanding send request behind one RDV_REQ id (or None)."""
@@ -177,17 +285,35 @@ class RdvManager:
         self.engine.post_ctrl(src_node, RdvAck(req_id=rdv.req_id))
 
     def on_chunk(self, chunk: DmaChunk) -> Optional[RecvRequest]:
-        """A DMA chunk landed; returns the receive request if now complete."""
+        """A DMA chunk landed; returns the receive request if now complete.
+
+        Duplicate chunks (injected dups, or a retry racing its presumed-
+        lost original) and chunks for an already-finished rendezvous are
+        dropped and counted, never raised: the recovery path makes both
+        legitimate arrivals.
+        """
         key = (chunk.src_node, chunk.req_id)
         state = self._in.get(key)
         if state is None:
+            if key in self._done_in:
+                self._count_rx_dropped()
+                return None
             raise ProtocolError(f"DMA chunk for unknown rendezvous {key}")
-        state.buffer.add(chunk.offset, chunk.payload)
+        if not state.buffer.add(chunk.offset, chunk.payload):
+            self._count_rx_dropped()
+            return None
         if state.buffer.complete:
             del self._in[key]
+            if self.engine._faults is not None:
+                self._done_in.add(key)
             state.request._deliver(state.buffer.assemble())
             return state.request
         return None
+
+    def _count_rx_dropped(self) -> None:
+        if self._m_rx_dropped is None:
+            self._m_rx_dropped = self.engine.session.metrics.counter("fault.rx_dropped")
+        self._m_rx_dropped.add()
 
     # -- introspection -----------------------------------------------------
     @property

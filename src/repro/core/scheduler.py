@@ -28,7 +28,8 @@ and the NICs are busy, requests therefore accumulate — the paper's
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from ..drivers.registry import make_driver
 from ..obs.spans import TRACK_PUMP, rail_track
@@ -101,6 +102,15 @@ class NodeEngine:
         ]
         self._m_poll_gap = metrics.histogram("engine.commit.poll_gap_us")
         self._m_window_depth = metrics.histogram("engine.window.depth")
+        #: fault injector (set by FaultInjector; None = no faults active).
+        self._faults = None
+        #: entries from lost eager wrappers awaiting re-emission, FIFO:
+        #: ``(dst_node, entry)`` pairs.  Served before the strategy is
+        #: consulted, on any usable rail the head entry fits.
+        self._retrans: Deque[tuple[int, Any]] = deque()
+        #: fault.retries instruments, resolved on first loss only so a
+        #: fault-free session registers no fault metrics at all.
+        self._m_fault_retries: Optional[list] = None
         self._stopped = False
         strategy.bind(self)
         self.pump: Process = spawn(self.sim, self._pump_loop(), name=f"pump{node_id}")
@@ -183,6 +193,56 @@ class NodeEngine:
         """Ask the pump to exit at its next wake-up (session teardown)."""
         self._stopped = True
         self.host.wake()
+
+    # ------------------------------------------------------------------ #
+    # failover (fault-injection recovery path)
+    # ------------------------------------------------------------------ #
+    def fault_retry_counter(self, rail_index: int):
+        """The ``fault.retries`` instrument of one rail, resolved lazily."""
+        if self._m_fault_retries is None:
+            self._m_fault_retries = [
+                self.session.metrics.counter("fault.retries", rail=d.name)
+                for d in self.drivers
+            ]
+        return self._m_fault_retries[rail_index]
+
+    def on_wrapper_lost(self, pw: PacketWrapper, rail_index: int) -> None:
+        """An eager wrapper died on the wire: re-queue its entries.
+
+        Called by the fault injector once the loss is detected.  The
+        entries re-emit verbatim on the next rail that can carry them —
+        receiver-side matching is seq-based, so out-of-order re-delivery
+        is safe — and the strategy is bypassed entirely: it already
+        accounted for these segments at the original commit.
+        """
+        self.fault_retry_counter(rail_index).add()
+        for entry in pw.entries:
+            self._retrans.append((pw.dst_node, entry))
+        self.host.wake()
+
+    def _build_retrans(self, driver: "Driver") -> Optional[PacketWrapper]:
+        """One wrapper of queued retransmissions that fits ``driver``.
+
+        Returns None when even the queue head does not fit — a
+        smaller-threshold surviving rail must leave the queue for a rail
+        that can carry it (possibly the original one, after recovery).
+        The wrapper carries no send requests: the originals completed
+        locally at first post; only delivery is still outstanding.
+        """
+        dst = self._retrans[0][0]
+        pw = PacketWrapper(
+            src_node=self.node_id, dst_node=dst, rail_index=driver.rail_index
+        )
+        while self._retrans:
+            peer, entry = self._retrans[0]
+            if peer != dst:
+                break
+            pw.add(entry)
+            if driver.wire_size(pw) > driver.max_eager_bytes:
+                pw.entries.pop()
+                break
+            self._retrans.popleft()
+        return pw if pw.entries else None
 
     # ------------------------------------------------------------------ #
     # packet handling
@@ -325,22 +385,30 @@ class NodeEngine:
             # --- commit phase (one wrapper per driver per sweep) -------
             for idx in self._order:
                 driver = self.drivers[idx]
+                if self._faults is not None and not driver.usable:
+                    # detected-down rail: never consulted, never posted to
+                    continue
                 if driver.nic.tx_busy_until > self.sim.now:
                     # an offloaded PIO copy still owns this NIC's eager
                     # path; revisit when it frees
                     self.sim.at(driver.nic.tx_busy_until, self.host.wake)
                     continue
                 backlog = getattr(self.strategy, "backlog", 0)
-                pw = self.strategy.try_and_commit(self, driver)
-                if spans.enabled:
-                    spans.instant(
-                        node, TRACK_PUMP, "decision", "decision", self.sim.now,
-                        {
-                            "rail": driver.name,
-                            "backlog": backlog,
-                            "committed": pw is not None,
-                        },
-                    )
+                # failover retransmissions jump the strategy queue: these
+                # entries were already scheduled once and must reach the
+                # wire before fresh traffic widens the reorder window.
+                pw = self._build_retrans(driver) if self._retrans else None
+                if pw is None:
+                    pw = self.strategy.try_and_commit(self, driver)
+                    if spans.enabled:
+                        spans.instant(
+                            node, TRACK_PUMP, "decision", "decision", self.sim.now,
+                            {
+                                "rail": driver.name,
+                                "backlog": backlog,
+                                "committed": pw is not None,
+                            },
+                        )
                 if pw is None:
                     continue
                 commit_span = spans.begin(

@@ -47,6 +47,7 @@ class Session:
         samples: Optional[SampleTable] = None,
         sim: Optional[Simulator] = None,
         trace: bool = False,
+        faults: Any = None,
     ):
         if not isinstance(spec, PlatformSpec):
             raise ConfigError(f"spec must be a PlatformSpec, got {type(spec).__name__}")
@@ -74,6 +75,14 @@ class Session:
             for node_id in range(spec.n_nodes)
         ]
         self._interfaces: dict[int, Any] = {}
+        #: fault injector, or None — the only state the fault subsystem
+        #: adds to a fault-free session (hot paths check engine/driver
+        #: attributes the injector sets when attaching).
+        self.faults = None
+        if faults is not None and not faults.empty:
+            from ..faults.injector import FaultInjector
+
+            self.faults = FaultInjector(self, faults)
 
     # ------------------------------------------------------------------ #
     # access

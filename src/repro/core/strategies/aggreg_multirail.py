@@ -76,11 +76,14 @@ class AggregMultirailStrategy(Strategy):
         pw = self.commit_ctrl(engine, driver)
         if pw is not None:
             return pw
-        # small messages: only on the fastest rail, aggregated
-        if driver.rail_index == self.fastest_index and self._small:
+        # small messages: only on the fastest usable rail, aggregated
+        if driver.rail_index == self.usable_rail_index(engine, self.fastest_index) and self._small:
             seg = self._small[0]
             pw = self.make_pw(engine, seg.dst_node, driver)
-            self.fill_with_eager(pw, driver, self._small)
+            if self.fill_with_eager(pw, driver, self._small) == 0:
+                # failover rail with a smaller eager limit than the head
+                # segment needs: wait for a rail that can carry it
+                return None
             self.packets_committed += 1
             return pw
         # large messages: greedy over DMA-idle rails

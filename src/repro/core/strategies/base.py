@@ -89,6 +89,23 @@ class Strategy(ABC):
     # ------------------------------------------------------------------ #
     # shared helpers
     # ------------------------------------------------------------------ #
+    def usable_rail_index(self, engine: "NodeEngine", preferred: int) -> int:
+        """``preferred``, or the fastest *usable* rail when it is down.
+
+        Strategies that statically favour one rail (the "fastest" rail of
+        the aggregation strategies) route through this so a detected
+        outage fails their traffic over to a surviving rail — and moves
+        it back the moment the preferred rail recovers.  With no faults
+        active every driver reports usable and this returns ``preferred``
+        on the first check.
+        """
+        if engine.drivers[preferred].usable:
+            return preferred
+        for idx in engine._order:
+            if engine.drivers[idx].usable:
+                return idx
+        return preferred
+
     def make_pw(self, engine: "NodeEngine", dst_node: int, driver: "Driver") -> PacketWrapper:
         return PacketWrapper(
             src_node=engine.node_id, dst_node=dst_node, rail_index=driver.rail_index

@@ -14,9 +14,16 @@ validated against the strategy contract of
 * a large segment is never embedded as eager data on a driver where it is
   not eager-eligible.
 
-Violations raise :class:`~repro.util.errors.StrategyError` at the exact
-call that broke the contract, which is far easier to debug than a
-corrupted transfer three rendezvous later.  Usage::
+Each broken contract is reported as a :class:`Violation` naming the
+invariant and carrying the offending segment/rail context — not a bare
+boolean.  By default a violation raises
+:class:`~repro.util.errors.StrategyError` at the exact call that broke
+the contract, which is far easier to debug than a corrupted transfer
+three rendezvous later.  With ``record_only=True`` violations accumulate
+in :attr:`CheckedStrategy.violations` instead — the mode the chaos
+harness (:mod:`repro.faults.chaos`) runs every strategy in, so a single
+chaotic run reports *all* broken invariants rather than dying on the
+first.  Usage::
 
     session = Session(plat, strategy=CheckedStrategy.wrapping("my_strategy"))
     ...                      # or: strategy=CheckedStrategy, strategy_opts={"inner": "greedy"}
@@ -24,6 +31,7 @@ corrupted transfer three rendezvous later.  Usage::
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
 from ...util.errors import StrategyError
@@ -36,7 +44,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from ...drivers.base import Driver
     from ..scheduler import NodeEngine
 
-__all__ = ["CheckedStrategy"]
+__all__ = ["CheckedStrategy", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken strategy-contract invariant, with offending context."""
+
+    #: which invariant broke: "rail-binding", "oversize", "empty-wrapper",
+    #: "eager-eligibility", "unknown-segment", "send-request-mismatch",
+    #: "stranded-segments" or "dropped-ctrl".
+    invariant: str
+    message: str
+    #: offending segment/rail details as sorted (key, value) pairs.
+    context: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        ctx = ", ".join(f"{k}={v}" for k, v in self.context)
+        return f"[{self.invariant}] {self.message}" + (f" ({ctx})" if ctx else "")
 
 
 class CheckedStrategy(Strategy):
@@ -44,10 +69,13 @@ class CheckedStrategy(Strategy):
 
     name = "checked"
 
-    def __init__(self, inner: Any = "aggreg", **inner_opts: Any):
+    def __init__(self, inner: Any = "aggreg", record_only: bool = False, **inner_opts: Any):
         super().__init__()
         self.inner = make_strategy(inner, **inner_opts)
         self.name = f"checked({self.inner.name})"
+        #: with ``record_only`` violations collect here instead of raising.
+        self.record_only = record_only
+        self.violations: list[Violation] = []
         #: packed segments not yet seen in a wrapper, by (dst, tag, seq)
         self._outstanding: dict[tuple[int, int, int], Any] = {}
         self._packed_total = 0
@@ -55,9 +83,17 @@ class CheckedStrategy(Strategy):
         self._ctrl_emitted = 0
 
     @classmethod
-    def wrapping(cls, inner: Any, **inner_opts: Any):
+    def wrapping(cls, inner: Any, record_only: bool = False, **inner_opts: Any):
         """A factory usable as a Session ``strategy=`` argument."""
-        return lambda: cls(inner, **inner_opts)
+        return lambda: cls(inner, record_only=record_only, **inner_opts)
+
+    # ------------------------------------------------------------------ #
+    def _fail(self, invariant: str, message: str, **context: Any) -> None:
+        violation = Violation(invariant, message, tuple(sorted(context.items())))
+        if self.record_only:
+            self.violations.append(violation)
+        else:
+            raise StrategyError(str(violation))
 
     # ------------------------------------------------------------------ #
     def bind(self, engine: "NodeEngine") -> None:
@@ -86,65 +122,123 @@ class CheckedStrategy(Strategy):
     def _validate(self, driver: "Driver", pw: PacketWrapper) -> None:
         label = f"strategy {self.inner.name!r}"
         if pw.rail_index != driver.rail_index:
-            raise StrategyError(
+            self._fail(
+                "rail-binding",
                 f"{label} committed a wrapper bound to rail {pw.rail_index}"
-                f" when consulted for rail {driver.rail_index}"
+                f" when consulted for rail {driver.rail_index}",
+                wrapper_rail=pw.rail_index,
+                consulted_rail=driver.rail_index,
+                dst=pw.dst_node,
             )
         size = driver.wire_size(pw)
         if size > driver.max_eager_bytes:
-            raise StrategyError(
+            self._fail(
+                "oversize",
                 f"{label} committed a {size}B wrapper over the"
-                f" {driver.max_eager_bytes}B eager limit of {driver.name}"
+                f" {driver.max_eager_bytes}B eager limit of {driver.name}",
+                bytes=size,
+                limit=driver.max_eager_bytes,
+                rail=driver.name,
             )
         if not pw.entries:
-            raise StrategyError(f"{label} committed an empty wrapper")
+            self._fail(
+                "empty-wrapper",
+                f"{label} committed an empty wrapper",
+                rail=driver.name,
+                dst=pw.dst_node,
+            )
         from ..packet import RdvReq
 
         eager_requests = []
         for entry in pw.entries:
             if isinstance(entry, EagerEntry):
                 if not driver.eager_eligible(entry.payload.size):
-                    raise StrategyError(
+                    self._fail(
+                        "eager-eligibility",
                         f"{label} embedded a {entry.payload.size}B segment as"
-                        f" eager data on {driver.name}"
+                        f" eager data on {driver.name}",
+                        bytes=entry.payload.size,
+                        rail=driver.name,
+                        tag=entry.tag,
+                        seq=entry.seq,
                     )
             if isinstance(entry, (EagerEntry, RdvReq)):
                 key = (pw.dst_node, entry.tag, entry.seq)
                 request = self._outstanding.pop(key, None)
                 if request is None:
-                    raise StrategyError(
+                    self._fail(
+                        "unknown-segment",
                         f"{label} emitted segment {key} it never packed"
-                        " (or emitted twice)"
+                        " (or emitted twice)",
+                        dst=key[0],
+                        tag=key[1],
+                        seq=key[2],
+                        rail=driver.name,
                     )
-                if isinstance(entry, EagerEntry):
+                elif isinstance(entry, EagerEntry):
                     eager_requests.append(request)
             else:
                 self._ctrl_emitted += 1
         listed = list(pw.send_requests)
         if len(set(map(id, listed))) != len(listed):
-            raise StrategyError(f"{label} listed a send request twice")
-        if set(map(id, listed)) != set(map(id, eager_requests)):
-            raise StrategyError(
+            self._fail(
+                "send-request-mismatch",
+                f"{label} listed a send request twice",
+                rail=driver.name,
+                dst=pw.dst_node,
+            )
+        elif set(map(id, listed)) != set(map(id, eager_requests)):
+            self._fail(
+                "send-request-mismatch",
                 f"{label} listed {len(listed)} send requests but embedded"
                 f" {len(eager_requests)} eager segments (they must match"
-                " one-to-one; rendezvous segments complete at drain)"
+                " one-to-one; rendezvous segments complete at drain)",
+                listed=len(listed),
+                embedded=len(eager_requests),
+                rail=driver.name,
+                dst=pw.dst_node,
             )
         self.packets_committed += 1
 
     # ------------------------------------------------------------------ #
-    def assert_drained(self) -> None:
-        """After traffic finished: nothing packed is still unsent and
-        every queued control entry was emitted."""
+    def drain_violations(self) -> list[Violation]:
+        """Quiescence invariants, as violation records (does not raise)."""
+        out: list[Violation] = []
         if self._outstanding:
-            raise StrategyError(
-                f"strategy {self.inner.name!r} still holds"
-                f" {len(self._outstanding)} packed segments"
+            keys = sorted(self._outstanding)
+            out.append(
+                Violation(
+                    "stranded-segments",
+                    f"strategy {self.inner.name!r} still holds"
+                    f" {len(self._outstanding)} packed segments",
+                    (("segments", tuple(keys[:8])),),
+                )
             )
         if self._ctrl_emitted < self._ctrl_queued:
-            raise StrategyError(
-                f"strategy {self.inner.name!r} dropped"
-                f" {self._ctrl_queued - self._ctrl_emitted} control entries"
+            out.append(
+                Violation(
+                    "dropped-ctrl",
+                    f"strategy {self.inner.name!r} dropped"
+                    f" {self._ctrl_queued - self._ctrl_emitted} control entries",
+                    (
+                        ("queued", self._ctrl_queued),
+                        ("emitted", self._ctrl_emitted),
+                    ),
+                )
             )
+        return out
+
+    def check_drained(self) -> list[Violation]:
+        """Record-mode drain check: appends to and returns violations."""
+        found = self.drain_violations()
+        self.violations.extend(found)
+        return found
+
+    def assert_drained(self) -> None:
+        """After traffic finished: nothing packed is still unsent and
+        every queued control entry was emitted (raises on violation)."""
+        for violation in self.drain_violations():
+            raise StrategyError(str(violation))
 
     @property
     def backlog(self) -> int:

@@ -173,14 +173,16 @@ class SplitBalanceStrategy(Strategy):
         pw = self.commit_ctrl(engine, driver)
         if pw is not None:
             return pw
-        if driver.rail_index == self.fastest_index and self._small:
+        if driver.rail_index == self.usable_rail_index(engine, self.fastest_index) and self._small:
             seg = self._small[0]
             pw = self.make_pw(engine, seg.dst_node, driver)
-            self.fill_with_eager(pw, driver, self._small)
+            if self.fill_with_eager(pw, driver, self._small) == 0:
+                # failover rail too small for the head segment: hold it
+                return None
             self.packets_committed += 1
             return pw
         if self._large:
-            idle = [d for d in engine.drivers if d.dma_idle]
+            idle = [d for d in engine.drivers if d.dma_idle and d.usable]
             if not idle or not driver.dma_idle:
                 # only plan bulk work when the consulted rail itself is free
                 return None

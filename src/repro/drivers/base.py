@@ -62,6 +62,14 @@ class Driver:
         #: set by the owning engine; PIO/DMA activity becomes spans on
         #: this rail's track (see repro.obs.spans).
         self.spans = None
+        #: fault injector of the owning session; None when no faults are
+        #: scheduled (the common case — every hook below is one ``is
+        #: None`` check, keeping the fault layer zero-cost when inactive).
+        self.faults = None
+        #: *detected* health of this rail: "up" | "degraded" | "down".
+        #: Driven by the fault injector's detection events, which trail
+        #: the physical state by the plan's detection delay.
+        self.health = "up"
 
     # ------------------------------------------------------------------ #
     # capabilities
@@ -91,6 +99,16 @@ class Driver:
     @property
     def dma_idle(self) -> bool:
         return not self.nic.dma_busy
+
+    @property
+    def usable(self) -> bool:
+        """False once the rail's outage has been *detected*.
+
+        The engine stops consulting the strategy for an unusable rail and
+        failover routes around it; traffic already committed during the
+        detection window is recovered by retransmission instead.
+        """
+        return self.health != "down"
 
     # ------------------------------------------------------------------ #
     # progress
@@ -150,7 +168,10 @@ class Driver:
         self.nic.tx_eager_packets += 1
         self.nic.tx_eager_bytes += size
         self.nic.tx_busy_until = now + post + copy
-        self.fabric.transmit(self.node_id, pw.dst_node, pw, send_done_delay=post + copy)
+        if self.faults is None:
+            self.fabric.transmit(self.node_id, pw.dst_node, pw, send_done_delay=post + copy)
+        else:
+            self.faults.transmit_eager(self, pw, send_done_delay=post + copy)
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(
                 now,
@@ -192,6 +213,7 @@ class Driver:
         payload: Payload,
         delay: float,
         on_drain: Optional[Callable[["Flow"], None]] = None,
+        on_lost: Optional[Callable[[bool], None]] = None,
     ) -> float:
         """Launch one rendezvous chunk as a flow.
 
@@ -199,6 +221,12 @@ class Driver:
         the same handler).  Returns this chunk's own CPU post cost.  On
         completion the data lands at the destination NIC as a
         :class:`~repro.core.packet.DmaChunk`.
+
+        ``on_lost(engine_reserved)`` — required when a fault injector is
+        active — fires (after the detection delay) if the chunk dies: the
+        launch hit a dead NIC, the rail was cut mid-transfer, or the data
+        was lost in the propagation window after draining.  The flag says
+        whether this NIC's DMA engine is still held by the dead transfer.
         """
         if payload.size <= 0:
             raise DriverError(f"{self.name}: empty DMA chunk")
@@ -213,9 +241,18 @@ class Driver:
         self.nic.tx_dma_bytes += payload.size
 
         def launch() -> None:
+            faults = self.faults
+            if faults is not None and faults.is_down(self.rail_index):
+                # posted into a dead NIC during the detection window: the
+                # chunk never leaves and the DMA engine stays claimed
+                # until the recovery path releases it.
+                faults.chunk_lost(self.rail_index, on_lost, engine_reserved=True)
+                return
             start = self.sim.now
 
             def drained(flow: "Flow") -> None:
+                if faults is not None:
+                    faults.untrack_flow(flow)
                 if self.tracer is not None and self.tracer.enabled:
                     self.tracer.record(
                         self.sim.now,
@@ -248,14 +285,28 @@ class Driver:
                 if on_drain is not None:
                     on_drain(flow)
 
-            self.platform.flownet.start_flow(
-                path=path,
-                size=wire_bytes,
-                on_complete=lambda _f: dst_nic.deliver(chunk),
-                extra_latency=self.spec.lat_us,
-                tag=(self.name, req_id, offset),
-                on_drain=drained,
-            )
+            if faults is None:
+                self.platform.flownet.start_flow(
+                    path=path,
+                    size=wire_bytes,
+                    on_complete=lambda _f: dst_nic.deliver(chunk),
+                    extra_latency=self.spec.lat_us,
+                    tag=(self.name, req_id, offset),
+                    on_drain=drained,
+                )
+            else:
+                flow = self.platform.flownet.start_flow(
+                    path=path,
+                    size=wire_bytes,
+                    on_complete=lambda _f: faults.deliver_chunk(
+                        self, dst_nic, chunk, on_lost
+                    ),
+                    extra_latency=self.spec.lat_us
+                    * faults.lat_factor(self.rail_index),
+                    tag=(self.name, req_id, offset),
+                    on_drain=drained,
+                )
+                faults.track_flow(self.rail_index, flow, on_lost)
 
         self.sim.schedule(delay + cost, launch)
         return cost

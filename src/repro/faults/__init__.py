@@ -1,0 +1,26 @@
+"""Deterministic fault injection and the chaos/invariant harness.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, JSON-replayable
+  schedules of rail outages, degradations, drops, dups and flaps;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: executes a plan
+  against a live session (health detection, loss, failover hooks);
+* :mod:`repro.faults.chaos` — the chaos sweep: every strategy under
+  randomized plans, checked against end-to-end delivery invariants.
+"""
+
+from .chaos import ChaosCase, ChaosReport, run_case, run_chaos, save_failing_plans
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, random_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "random_plan",
+    "FaultInjector",
+    "ChaosCase",
+    "ChaosReport",
+    "run_case",
+    "run_chaos",
+    "save_failing_plans",
+]

@@ -1,0 +1,414 @@
+"""Fault injector: executes a :class:`~repro.faults.plan.FaultPlan`
+against a live session's simulation clock.
+
+Failure model (DESIGN.md "Fault injection & failover")
+------------------------------------------------------
+The injector keeps two views of every rail:
+
+* **physical** state — what the wire actually does.  Applied exactly at
+  the plan's timestamps: a ``down`` rail loses every eager packet and DMA
+  chunk that is in flight or is sent while the outage lasts; a
+  ``degrade`` scales the rail's DMA link capacities and one-way latency.
+* **detected** state — what the drivers' up/degraded/down health state
+  machine believes, trailing every physical transition by the plan's
+  ``detect_us``.  The engine only reacts to *detected* state: the window
+  between failure and detection is exactly where traffic is silently
+  lost, like a real NIC whose completion queue goes quiet before the
+  watchdog fires.
+
+Loss is tracked with ground truth: the simulation knows precisely which
+wrappers and chunks died, so the recovery path retransmits *only*
+genuinely lost data.  This models a driver-level completion/timeout
+mechanism without simulating acknowledgement traffic; the detection delay
+stands in for the timeout.  Lost eager wrappers are re-queued on the
+owning engine (:meth:`~repro.core.scheduler.NodeEngine.on_wrapper_lost`)
+and re-emitted on any usable rail; lost DMA chunks are retried by the
+rendezvous manager with exponential backoff
+(:meth:`~repro.core.rendezvous.RdvManager.on_chunk_lost`).
+
+A detected ``degrade`` transition (start or end) re-triggers init-time
+sampling on the *effective* platform spec, replacing
+``session.samples`` so adaptive strategies re-derive their stripping
+ratios from the degraded bandwidth (the Fig 7 loop, closed at runtime).
+
+The injector is only constructed for a non-empty plan; with no plan the
+whole subsystem is a handful of ``is None`` checks on the hot paths and
+simulated results are bit-identical to a fault-free build.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..core.sampling import sample_rails
+from ..util.errors import ConfigError
+from ..util.units import KB, MB
+from .plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.packet import DmaChunk, PacketWrapper
+    from ..core.session import Session
+    from ..drivers.base import Driver
+    from ..hardware.nic import NIC
+    from ..hardware.spec import PlatformSpec
+    from ..sim.flows import Flow
+
+__all__ = ["FaultInjector", "RailFaultState"]
+
+#: span track used for fault windows in exported timelines.
+TRACK_FAULTS = "faults"
+
+#: sizes used when a detected degradation re-triggers sampling.  Two
+#: points give an exact linear fit and keep the re-sample cheap enough to
+#: run inside chaos sweeps.
+RESAMPLE_SIZES = (64 * KB, 1 * MB)
+
+
+class RailFaultState:
+    """Physical + detected fault state of one rail."""
+
+    __slots__ = (
+        "index",
+        "name",
+        "down",
+        "detected",
+        "degrades",
+        "drop_budget",
+        "dup_budget",
+        "base_bw",
+        "down_since",
+    )
+
+    def __init__(self, index: int, name: str, base_bw: float):
+        self.index = index
+        self.name = name
+        #: physical: True while the wire is cut.
+        self.down = False
+        #: what the drivers currently believe: "up" | "degraded" | "down".
+        self.detected = "up"
+        #: active degradations as (bw_factor, lat_factor) pairs; effects
+        #: compose multiplicatively so overlapping events nest cleanly.
+        self.degrades: list[tuple[float, float]] = []
+        self.drop_budget = 0
+        self.dup_budget = 0
+        self.base_bw = base_bw
+        self.down_since: Optional[float] = None
+
+    @property
+    def bw_factor(self) -> float:
+        f = 1.0
+        for bw, _lat in self.degrades:
+            f *= bw
+        return f
+
+    @property
+    def lat_factor(self) -> float:
+        f = 1.0
+        for _bw, lat in self.degrades:
+            f *= lat
+        return f
+
+    @property
+    def physical_health(self) -> str:
+        if self.down:
+            return "down"
+        return "degraded" if self.degrades else "up"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RailFaultState {self.name} phys={self.physical_health} det={self.detected}>"
+
+
+class FaultInjector:
+    """Schedules a plan's faults and owns the loss/recovery bookkeeping."""
+
+    def __init__(self, session: "Session", plan: FaultPlan):
+        if plan.empty:
+            raise ConfigError("FaultInjector needs a non-empty plan")
+        self.session = session
+        self.sim = session.sim
+        self.plan = plan
+        self.detect_us = plan.detect_us
+        spec = session.spec
+        plan.validate(spec)
+        self._rails = [
+            RailFaultState(i, r.name, r.bw_MBps) for i, r in enumerate(spec.rails)
+        ]
+        self._by_name = {st.name: st for st in self._rails}
+        #: in-flight DMA flows per rail, insertion-ordered for determinism:
+        #: flow -> (rail_index, on_lost callback).
+        self._tracked: dict["Flow", tuple[int, Callable[[bool], None]]] = {}
+        # fault.* instruments (registered only when faults are active)
+        metrics = session.metrics
+        self._m_events = metrics.counter("fault.events")
+        self._m_lost_eager = [
+            metrics.counter("fault.lost.eager", rail=st.name) for st in self._rails
+        ]
+        self._m_lost_chunks = [
+            metrics.counter("fault.lost.chunks", rail=st.name) for st in self._rails
+        ]
+        self._m_dup = [
+            metrics.counter("fault.dup_injected", rail=st.name) for st in self._rails
+        ]
+        self._m_state = [
+            metrics.gauge("fault.rail_state", rail=st.name) for st in self._rails
+        ]
+        self._m_downtime = [
+            metrics.counter("fault.downtime_us", rail=st.name) for st in self._rails
+        ]
+        self._m_resamples = metrics.counter("fault.resamples")
+        # schedule the plan (flaps expanded into their down cycles)
+        for event in plan.normalized():
+            rail = self._by_name[event.rail]
+            if event.kind == "down":
+                assert event.duration_us is not None
+                self.sim.at(event.at_us, self._apply_down, rail)
+                self.sim.at(event.at_us + event.duration_us, self._apply_up, rail)
+            elif event.kind == "degrade":
+                assert event.duration_us is not None and event.factor is not None
+                entry = (event.factor, event.lat_factor or 1.0)
+                self.sim.at(event.at_us, self._apply_degrade, rail, entry)
+                self.sim.at(
+                    event.at_us + event.duration_us, self._clear_degrade, rail, entry
+                )
+            elif event.kind == "drop":
+                assert event.count is not None
+                self.sim.at(event.at_us, self._apply_budget, rail, "drop_budget", event.count)
+            elif event.kind == "dup":
+                assert event.count is not None
+                self.sim.at(event.at_us, self._apply_budget, rail, "dup_budget", event.count)
+            else:  # pragma: no cover - normalized() leaves no flaps
+                raise ConfigError(f"unexpected fault kind {event.kind!r}")
+        self._attach()
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def _attach(self) -> None:
+        """Hook every engine and driver of the session to this injector."""
+        for engine in self.session.engines:
+            engine._faults = self
+            for drv in engine.drivers:
+                drv.faults = self
+
+    # ------------------------------------------------------------------ #
+    # state queries (hot paths)
+    # ------------------------------------------------------------------ #
+    def is_down(self, rail_index: int) -> bool:
+        """Physical outage state of one rail."""
+        return self._rails[rail_index].down
+
+    def lat_factor(self, rail_index: int) -> float:
+        """Current physical latency multiplier of one rail (>= 1)."""
+        return self._rails[rail_index].lat_factor
+
+    def detected_health(self, rail_index: int) -> str:
+        return self._rails[rail_index].detected
+
+    def rail_state(self, rail_index: int) -> RailFaultState:
+        return self._rails[rail_index]
+
+    # ------------------------------------------------------------------ #
+    # plan execution
+    # ------------------------------------------------------------------ #
+    def _apply_down(self, rail: RailFaultState) -> None:
+        if rail.down:  # overlapping downs collapse into one outage
+            return
+        self._m_events.add()
+        rail.down = True
+        rail.down_since = self.sim.now
+        self._span(rail, "down")
+        # every in-flight DMA chunk on this rail is lost mid-transfer
+        lost = [
+            (flow, on_lost)
+            for flow, (idx, on_lost) in self._tracked.items()
+            if idx == rail.index
+        ]
+        flownet = self.session.platform.flownet
+        for flow, on_lost in lost:
+            del self._tracked[flow]
+            flownet.cancel_flow(flow)
+            # the sender's DMA engine is still reserved (never drained)
+            self.chunk_lost(rail.index, on_lost, engine_reserved=True)
+        self.sim.schedule(self.detect_us, self._detect, rail)
+
+    def _apply_up(self, rail: RailFaultState) -> None:
+        if not rail.down:
+            return
+        rail.down = False
+        if rail.down_since is not None:
+            self._m_downtime[rail.index].add(self.sim.now - rail.down_since)
+            rail.down_since = None
+        self.sim.schedule(self.detect_us, self._detect, rail)
+
+    def _apply_degrade(self, rail: RailFaultState, entry: tuple[float, float]) -> None:
+        self._m_events.add()
+        rail.degrades.append(entry)
+        self._rescale_links(rail)
+        self._span(rail, "degrade")
+        self.sim.schedule(self.detect_us, self._detect, rail)
+
+    def _clear_degrade(self, rail: RailFaultState, entry: tuple[float, float]) -> None:
+        try:
+            rail.degrades.remove(entry)
+        except ValueError:  # pragma: no cover - defensive
+            return
+        self._rescale_links(rail)
+        self.sim.schedule(self.detect_us, self._detect, rail)
+
+    def _apply_budget(self, rail: RailFaultState, attr: str, count: int) -> None:
+        self._m_events.add()
+        setattr(rail, attr, getattr(rail, attr) + count)
+
+    def _rescale_links(self, rail: RailFaultState) -> None:
+        """Scale the rail's NIC link capacities to the effective bandwidth."""
+        platform = self.session.platform
+        bw = rail.base_bw * rail.bw_factor
+        for node_id in range(platform.n_nodes):
+            nic = platform.nic(rail.index, node_id)
+            nic.tx_link.capacity = bw
+            nic.rx_link.capacity = bw
+        platform.flownet.refresh()
+
+    # ------------------------------------------------------------------ #
+    # detection: the drivers' health state machine
+    # ------------------------------------------------------------------ #
+    def _detect(self, rail: RailFaultState) -> None:
+        """A scheduled health probe: sync detected state to physical."""
+        health = rail.physical_health
+        if health == rail.detected:
+            return
+        was = rail.detected
+        rail.detected = health
+        self._m_state[rail.index].set({"up": 0, "degraded": 1, "down": 2}[health])
+        for engine in self.session.engines:
+            engine.drivers[rail.index].health = health
+            # every health transition is a scheduling opportunity: a
+            # recovered rail can take parked traffic, a dead one must be
+            # routed around right now.
+            engine.host.wake()
+        # entering or leaving degradation re-triggers init-time sampling
+        if "degraded" in (health, was):
+            self._resample()
+
+    def effective_spec(self) -> "PlatformSpec":
+        """The platform spec as currently *detected* (degrade-scaled)."""
+        spec = self.session.spec
+        rails = []
+        for st, rail_spec in zip(self._rails, spec.rails):
+            if st.detected == "degraded":
+                rails.append(
+                    rail_spec.replace(
+                        bw_MBps=rail_spec.bw_MBps * st.bw_factor,
+                        lat_us=rail_spec.lat_us * st.lat_factor,
+                    )
+                )
+            else:
+                rails.append(rail_spec)
+        return spec.with_rails(rails)
+
+    def _resample(self) -> None:
+        """Re-run init-time sampling on the detected effective spec."""
+        session = self.session
+        if session.samples is None:
+            return  # nothing consumes ratios; skip the work
+        session.samples = sample_rails(
+            self.effective_spec(), sizes=RESAMPLE_SIZES, reps=1, warmup=1
+        )
+        self._m_resamples.add()
+
+    # ------------------------------------------------------------------ #
+    # eager (PIO) path
+    # ------------------------------------------------------------------ #
+    def transmit_eager(
+        self, driver: "Driver", pw: "PacketWrapper", send_done_delay: float
+    ) -> None:
+        """Faults-aware replacement for ``Fabric.transmit``."""
+        rail = self._rails[driver.rail_index]
+        if rail.drop_budget > 0:
+            # transient send error: the driver reports the failed
+            # completion as soon as the post finishes.
+            rail.drop_budget -= 1
+            self._m_lost_eager[rail.index].add()
+            self.sim.schedule(send_done_delay, self._notify_eager_lost, driver, pw)
+            return
+        if rail.down:
+            # sent into a dead wire; noticed one detection delay later.
+            self._m_lost_eager[rail.index].add()
+            self.sim.schedule(
+                send_done_delay + self.detect_us, self._notify_eager_lost, driver, pw
+            )
+            return
+        latency = driver.spec.lat_us * rail.lat_factor
+        self.sim.schedule(
+            send_done_delay + latency, self._deliver_eager, driver, rail, pw
+        )
+
+    def _deliver_eager(
+        self, driver: "Driver", rail: RailFaultState, pw: "PacketWrapper"
+    ) -> None:
+        if rail.down:
+            # the rail died while the packet was in flight
+            self._m_lost_eager[rail.index].add()
+            self.sim.schedule(self.detect_us, self._notify_eager_lost, driver, pw)
+            return
+        driver.fabric.packets_carried += 1
+        driver.platform.nic(rail.index, pw.dst_node).deliver(pw)
+
+    def _notify_eager_lost(self, driver: "Driver", pw: "PacketWrapper") -> None:
+        self.session.engines[driver.node_id].on_wrapper_lost(pw, driver.rail_index)
+
+    # ------------------------------------------------------------------ #
+    # bulk (DMA) path
+    # ------------------------------------------------------------------ #
+    def track_flow(
+        self, rail_index: int, flow: "Flow", on_lost: Callable[[bool], None]
+    ) -> None:
+        """Register an in-flight chunk so a ``down`` can cancel it."""
+        self._tracked[flow] = (rail_index, on_lost)
+
+    def untrack_flow(self, flow: "Flow") -> None:
+        self._tracked.pop(flow, None)
+
+    def chunk_lost(
+        self, rail_index: int, on_lost: Callable[[bool], None], engine_reserved: bool
+    ) -> None:
+        """Account one lost DMA chunk and notify the sender after the
+        detection delay.  ``engine_reserved`` says whether the sending
+        NIC's DMA engine is still held by the dead transfer (lost before
+        drain) and must be released by the recovery path."""
+        self._m_lost_chunks[rail_index].add()
+        self.sim.schedule(self.detect_us, on_lost, engine_reserved)
+
+    def deliver_chunk(
+        self, driver: "Driver", dst_nic: "NIC", chunk: "DmaChunk",
+        on_lost: Callable[[bool], None],
+    ) -> None:
+        """Guarded delivery of one drained chunk (plus dup injection)."""
+        rail = self._rails[driver.rail_index]
+        if rail.down:
+            # lost in the propagation window after the sender drained it
+            self.chunk_lost(rail.index, on_lost, engine_reserved=False)
+            return
+        if rail.dup_budget > 0:
+            rail.dup_budget -= 1
+            self._m_dup[rail.index].add()
+            self.sim.schedule(0.0, dst_nic.deliver, chunk)
+        dst_nic.deliver(chunk)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _span(self, rail: RailFaultState, kind: str) -> None:
+        spans = self.session.spans
+        if spans.enabled:
+            spans.instant(
+                0, TRACK_FAULTS, f"{kind}:{rail.name}", "fault", self.sim.now,
+                {"rail": rail.name, "kind": kind},
+            )
+
+    def health_report(self) -> dict[str, str]:
+        """Detected health of every rail (for CLI display)."""
+        return {st.name: st.detected for st in self._rails}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FaultInjector events={len(self.plan)} detect_us={self.detect_us}>"

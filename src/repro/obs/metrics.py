@@ -139,6 +139,49 @@ SCHEMA: dict[str, MetricSpec] = {
             "fraction of event-heap entries that are cancelled tombstones"
             " (last observed at the end of a run)",
         ),
+        # fault-injection subsystem (registered only when a FaultPlan is
+        # active; a fault-free session emits none of these)
+        MetricSpec(
+            "fault.events", "counter", "1",
+            "fault-plan events applied (downs, degrades, drop/dup budgets)",
+        ),
+        MetricSpec(
+            "fault.lost.eager", "counter", "1",
+            "eager wrappers lost to a dead rail or transient send error,"
+            " labelled per rail",
+        ),
+        MetricSpec(
+            "fault.lost.chunks", "counter", "1",
+            "DMA chunks lost at launch, mid-flight or in the propagation"
+            " window, labelled per rail",
+        ),
+        MetricSpec(
+            "fault.retries", "counter", "1",
+            "failover retransmissions issued (one per lost wrapper or"
+            " chunk), labelled per rail the loss happened on",
+        ),
+        MetricSpec(
+            "fault.rx_dropped", "counter", "1",
+            "receiver-side drops of duplicate or late chunks (injected"
+            " dups, retries racing their presumed-lost original)",
+        ),
+        MetricSpec(
+            "fault.dup_injected", "counter", "1",
+            "duplicate DMA chunk deliveries injected, labelled per rail",
+        ),
+        MetricSpec(
+            "fault.rail_state", "gauge", "1",
+            "detected health of one rail: 0=up, 1=degraded, 2=down",
+        ),
+        MetricSpec(
+            "fault.downtime_us", "counter", "us",
+            "cumulative physical outage time, labelled per rail",
+        ),
+        MetricSpec(
+            "fault.resamples", "counter", "1",
+            "init-time sampling re-runs triggered by detected degrade"
+            " transitions (the Fig 7 ratio loop closed at runtime)",
+        ),
     )
 }
 

@@ -254,6 +254,16 @@ class FlowNetwork:
         self._reallocate(flow)
         return flow
 
+    def refresh(self) -> None:
+        """Recompute all rates after an external link-capacity change.
+
+        Capacities are normally constant for the life of a network; the
+        fault injector mutates them when a rail degrades or recovers and
+        must then resynchronize every affected completion event.
+        """
+        if self._flows:
+            self._reallocate(None)
+
     def cancel_flow(self, flow: Flow) -> None:
         """Abort a flow; its completion callback never fires."""
         if flow.done or flow not in self._flows:

@@ -95,6 +95,22 @@ def test_unknown_curve_label_rejected():
         run_point(PointTask("fig4a", "no such curve", 64, 1, 1))
 
 
+def test_chaos_parallel_is_bit_identical_to_serial():
+    """Same contract as the sweep runner, for the chaos harness: the same
+    seeds and FaultPlans produce bit-identical case digests (final sim
+    time, payload CRCs, full metric snapshots) whether cases run serially
+    or fanned over worker processes."""
+    from repro.faults.chaos import run_chaos
+
+    kwargs = dict(seeds=[0, 1, 2], strategies="aggreg,aggreg_multirail")
+    serial = run_chaos(jobs=1, **kwargs)
+    parallel = run_chaos(jobs=2, **kwargs)
+    assert len(serial.cases) == len(parallel.cases) == 6
+    assert serial.ok and parallel.ok
+    for s_case, p_case in zip(serial.cases, parallel.cases):
+        assert s_case == p_case  # full dict: plan, violations, digest
+
+
 def test_cli_bench_run_jobs_smoke(tmp_path):
     from repro.cli import main
 

@@ -66,3 +66,50 @@ def test_virtual_chunks_preserve_size_only(partition):
         buf.add(offset, Payload.virtual(len(piece)))
     result = buf.assemble()
     assert result.is_virtual and result.size == len(data)
+
+
+@given(partitions(), st.randoms(use_true_random=False))
+@settings(max_examples=300, deadline=None)
+def test_duplicated_reordered_late_chunks_reassemble_exactly(partition, rng):
+    """The failover arrival pattern: chunks shuffled across rails, some
+    delivered twice (injected dups / a retry racing its original), some
+    repeated long after the rest landed.  Duplicates must be dropped
+    (``add`` returns False), counted, and never corrupt the content."""
+    data, chunks = partition
+    arrivals = list(chunks)
+    dups = [c for c in chunks if rng.random() < 0.5]
+    arrivals.extend(dups)  # duplicates interleaved anywhere...
+    rng.shuffle(arrivals)
+    late = [c for c in chunks if rng.random() < 0.3]
+    arrivals.extend(late)  # ...and some arriving after completion
+    buf = ReassemblyBuffer(len(data))
+    seen = set()
+    accepted = dropped = 0
+    for offset, piece in arrivals:
+        if buf.add(offset, Payload.of(piece)):
+            accepted += 1
+            assert offset not in seen
+            seen.add(offset)
+        else:
+            dropped += 1
+            assert offset in seen
+    assert accepted == len(chunks)
+    assert dropped == len(dups) + len(late)
+    assert buf.duplicates == dropped
+    assert buf.complete and buf.received_bytes == len(data)
+    assert buf.assemble().data == data
+
+
+@given(partitions(), st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_duplicates_never_change_received_bytes(partition, rng):
+    data, chunks = partition
+    buf = ReassemblyBuffer(len(data))
+    total = 0
+    for i, (offset, piece) in enumerate(chunks):
+        assert buf.add(offset, Payload.of(piece)) is True
+        total += len(piece)
+        # replay a random already-delivered chunk: a drop, never a change
+        dup_off, dup_piece = rng.choice(chunks[: i + 1])
+        assert buf.add(dup_off, Payload.of(dup_piece)) is False
+        assert buf.received_bytes == total
