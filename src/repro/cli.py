@@ -12,8 +12,12 @@ Commands
 ``experiments``  write the full paper-vs-measured EXPERIMENTS.md record
 ``trace``        run a span-traced benchmark and export a Chrome/Perfetto
                  trace plus the per-request latency breakdown
+``analyze``      critical-path latency attribution of a traced run: blame
+                 tables, rail timelines, Chrome-trace overlay
 ``bench run``    record a benchmark run as a self-describing BENCH_*.json
+                 (``--serve`` exposes a live OpenMetrics endpoint)
 ``bench compare``diff two run records / gate on simulated-result drift
+``bench history``cross-run trend / step-change analytics over BENCH_*.json
 ``metrics``      run the canonical probe workload and print its metrics
                  (OpenMetrics or JSON)
 ``list``         show available strategies, drivers and rail presets
@@ -142,6 +146,38 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument(
         "--no-report", action="store_true", help="skip the per-request latency report"
     )
+    t.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable summary (kernel stats, counters,"
+        " fault health) instead of text",
+    )
+
+    an = sub.add_parser(
+        "analyze",
+        help="critical-path latency attribution of a span-traced run",
+    )
+    an.add_argument(
+        "target",
+        nargs="?",
+        default="fig6",
+        help=f"what to analyze: one of {sorted(TRACE_TARGETS)} (default: fig6)",
+    )
+    an.add_argument(
+        "--node", type=int, default=None, metavar="N",
+        help="restrict attribution to requests submitted by node N (default: all)",
+    )
+    an.add_argument(
+        "--bins", type=int, default=24, metavar="N",
+        help="rail-utilization timeline resolution (default: 24)",
+    )
+    an.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    an.add_argument(
+        "-o", "--output", metavar="JSON",
+        help="also write the Chrome trace with the critical-path overlay lane",
+    )
 
     b = sub.add_parser("bench", help="benchmark run registry and regression gate")
     bsub = b.add_subparsers(dest="bench_command", required=True)
@@ -170,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     br.add_argument("--name", help="record name (default: derived from suites)")
     br.add_argument("-o", "--output", required=True, metavar="JSON")
+    br.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve live OpenMetrics on 127.0.0.1:PORT while the run is in"
+        " flight (0 = pick a free port)",
+    )
 
     bc = bsub.add_parser("compare", help="diff two run records")
     bc.add_argument("baseline", help="baseline BENCH_*.json")
@@ -189,6 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bc.add_argument(
         "--all-rows", action="store_true", help="show every delta row, not only regressions"
+    )
+
+    bh = bsub.add_parser(
+        "history",
+        help="cross-run analytics: trends and step changes over BENCH_*.json",
+    )
+    bh.add_argument(
+        "paths", nargs="+",
+        help="record files and/or directories to scan for BENCH_*.json",
+    )
+    bh.add_argument(
+        "--sim-step-tol", type=float, default=None,
+        help="step threshold for deterministic simulated quantities",
+    )
+    bh.add_argument(
+        "--wall-step-tol", type=float, default=None,
+        help="step threshold for noisy wall-clock medians",
+    )
+    bh.add_argument(
+        "--json", action="store_true", help="emit the full history as JSON"
     )
 
     c = sub.add_parser(
@@ -220,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--save-failing", metavar="DIR",
         help="write each failing case's FaultPlan JSON into DIR for replay",
+    )
+    c.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve live OpenMetrics on 127.0.0.1:PORT while the sweep runs"
+        " (0 = pick a free port)",
     )
 
     m = sub.add_parser(
@@ -373,14 +439,49 @@ def _cmd_trace(args) -> int:
         return 2
     try:
         n_events = write_chrome_trace(session, args.output)
-        print(f"{args.output}: {n_events} span events (open in https://ui.perfetto.dev)")
-        if args.jsonl:
-            n_lines = write_jsonl(session, args.jsonl)
-            print(f"{args.jsonl}: {n_lines} JSONL span records")
+        n_lines = write_jsonl(session, args.jsonl) if args.jsonl else None
     except OSError as exc:
         print(f"cannot write trace: {exc}", file=sys.stderr)
         return 1
     sim = session.sim
+    if args.json:
+        import json
+
+        snapshot = session.metrics.snapshot()
+        payload = {
+            "target": args.target,
+            "trace": {"path": args.output, "span_events": n_events},
+            "kernel": {
+                "events_executed": sim.events_executed,
+                "heap_compactions": sim.heap_compactions,
+                "tombstone_ratio": sim.tombstone_ratio,
+            },
+            "counters": {
+                name: value
+                for name, value in sorted(snapshot.items())
+                if not isinstance(value, dict)
+            },
+            "faults": (
+                None
+                if session.faults is None
+                else {
+                    "health": dict(session.faults.health_report()),
+                    "counters": {
+                        name: value
+                        for name, value in sorted(snapshot.items())
+                        if name.startswith("fault.") and not isinstance(value, dict)
+                    },
+                }
+            ),
+        }
+        if args.jsonl:
+            payload["trace"]["jsonl_path"] = args.jsonl
+            payload["trace"]["jsonl_records"] = n_lines
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    print(f"{args.output}: {n_events} span events (open in https://ui.perfetto.dev)")
+    if args.jsonl:
+        print(f"{args.jsonl}: {n_lines} JSONL span records")
     print(
         f"kernel: {sim.events_executed} events executed,"
         f" {sim.heap_compactions} heap compactions,"
@@ -405,6 +506,64 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    import json
+
+    from .obs.critical_path import (
+        analyze_session,
+        attribution_table,
+        blame_table,
+        critical_path_trace_events,
+        timeline_table,
+    )
+    from .obs.export import to_chrome_trace
+    from .util.errors import BenchError
+
+    try:
+        session = run_traced(args.target, _load_platform(args) if args.platform else None)
+    except BenchError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = analyze_session(session, node_id=args.node, bins=args.bins)
+    violations = report.verify()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(attribution_table(report.attributions).render())
+        print()
+        print(blame_table(report.attributions).render())
+        print()
+        print(timeline_table(report.timeline).render())
+        tax = report.poll_tax_totals()
+        if tax:
+            print()
+            print("idle-poll tax on the critical path, by rail:")
+            for rail, us in sorted(tax.items()):
+                print(f"  {rail:>10}: {us:8.2f} us")
+        g = report.graph
+        print()
+        print(
+            f"causal graph: {len(g.events)} events, {len(g.edges)} edges,"
+            f" {len(g.requests)} requests"
+        )
+    if args.output:
+        doc = to_chrome_trace(session)
+        doc["traceEvents"].extend(critical_path_trace_events(report.attributions))
+        try:
+            with open(args.output, "w") as fh:
+                json.dump(doc, fh)
+        except OSError as exc:
+            print(f"cannot write trace: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.output}: Chrome trace with critical-path overlay"
+            f" (open in https://ui.perfetto.dev)"
+        )
+    for violation in violations:
+        print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
 def _cmd_bench(args) -> int:
     from .util.errors import BenchError
 
@@ -415,10 +574,30 @@ def _cmd_bench(args) -> int:
         run_engine = args.engine or not run_figures
         suites = [s for s, on in (("engine", run_engine), ("figures", run_figures)) if on]
         recorder = BenchRecorder(args.name or "+".join(suites), spec=_load_platform(args))
+        server = None
+        engine_publish = figure_publish = None
+        if args.serve is not None:
+            from .obs.server import LiveMetricsServer
+
+            server = LiveMetricsServer(port=args.serve).start()
+            publisher = server.publisher
+            publisher.set_meta(command="bench run", record=recorder.name)
+
+            def engine_publish(bench, done, total):  # noqa: F811
+                publisher.publish_progress("engine", done, total)
+                if recorder._metrics:
+                    publisher.publish_metrics(recorder._metrics)
+
+            def figure_publish(fid, done, total):  # noqa: F811
+                publisher.publish_progress("figures", done, total)
+
+            print(f"live metrics: {server.url}/metrics")
         try:
             if run_engine:
                 print("running engine micro-benchmarks ...")
-                run_engine_suite(recorder, wall_reps=args.wall_reps)
+                run_engine_suite(
+                    recorder, wall_reps=args.wall_reps, publish=engine_publish
+                )
             if run_figures:
                 run_figure_suite(
                     recorder,
@@ -426,7 +605,10 @@ def _cmd_bench(args) -> int:
                     reps=args.reps,
                     jobs=args.jobs,
                     progress=lambda fid: print(f"running {fid} ..."),
+                    publish=figure_publish,
                 )
+            if server is not None and recorder._metrics:
+                server.publisher.publish_metrics(recorder._metrics)
             path = recorder.write(args.output)
         except BenchError as exc:
             print(exc, file=sys.stderr)
@@ -434,6 +616,9 @@ def _cmd_bench(args) -> int:
         except OSError as exc:
             print(f"cannot write record: {exc}", file=sys.stderr)
             return 1
+        finally:
+            if server is not None:
+                server.stop()
         print(f"{path}: {len(recorder)} points, {len(recorder._wall)} wall-clock benches")
         return 0
 
@@ -464,6 +649,41 @@ def _cmd_bench(args) -> int:
         print(report.summary())
         if args.gate:
             return 0 if report.ok else 1
+        return 0
+
+    if args.bench_command == "history":
+        import json
+
+        from .obs import history as history_mod
+        from .obs.history import build_history, history_table, load_history, step_table
+
+        try:
+            records = load_history(args.paths)
+            report = build_history(
+                records,
+                sim_step_threshold=(
+                    args.sim_step_tol
+                    if args.sim_step_tol is not None
+                    else history_mod.SIM_STEP_THRESHOLD
+                ),
+                wall_step_threshold=(
+                    args.wall_step_tol
+                    if args.wall_step_tol is not None
+                    else history_mod.WALL_STEP_THRESHOLD
+                ),
+            )
+        except BenchError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+            return 0
+        print(history_table(report).render())
+        if report.step_changes:
+            print()
+            print(step_table(report).render())
+        print()
+        print(report.summary())
         return 0
 
     raise AssertionError(f"unhandled bench command {args.bench_command!r}")
@@ -509,22 +729,45 @@ def _cmd_chaos(args) -> int:
     from .faults.chaos import (
         DEFAULT_HORIZON_US,
         DEFAULT_MESSAGES,
+        chaos_strategies,
         run_chaos,
         save_failing_plans,
     )
     from .util.errors import ConfigError
 
+    server = None
+    on_case = None
     try:
+        if args.serve is not None:
+            from .obs.server import LiveMetricsServer
+
+            total = len(chaos_strategies(args.strategies)) * args.seeds
+            server = LiveMetricsServer(port=args.serve).start()
+            publisher = server.publisher
+            publisher.set_meta(command="chaos", cases=total)
+            publisher.publish_progress("chaos", 0, total)
+            done = [0]
+
+            def on_case(case, row):  # noqa: F811
+                done[0] += 1
+                publisher.publish_metrics(row["digest"]["metrics"])
+                publisher.publish_progress("chaos", done[0], total)
+
+            print(f"live metrics: {server.url}/metrics")
         report = run_chaos(
             seeds=args.seeds,
             strategies=args.strategies,
             jobs=args.jobs,
             horizon_us=args.horizon if args.horizon is not None else DEFAULT_HORIZON_US,
             messages=args.messages if args.messages is not None else DEFAULT_MESSAGES,
+            on_case=on_case,
         )
     except ConfigError as exc:
         print(exc, file=sys.stderr)
         return 2
+    finally:
+        if server is not None:
+            server.stop()
     print(report.summary())
     if not report.ok and args.save_failing:
         for path in save_failing_plans(report, args.save_failing):
@@ -541,6 +784,7 @@ _COMMANDS = {
     "sample": _cmd_sample,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "metrics": _cmd_metrics,

@@ -183,6 +183,26 @@ class PacketWrapper:
     def add(self, entry: Entry) -> None:
         self.entries.append(entry)
 
+    def identity_args(self) -> dict:
+        """Span-args identifying every request riding this wrapper.
+
+        ``reqs`` lists eager segments as ``[tag, seq]`` pairs, ``rdv``
+        lists rendezvous requests as ``[req_id, tag, seq]`` triples;
+        together with the wrapper's ``dst`` they key the causal event
+        graph (see :mod:`repro.obs.critical_path`).  Only built when span
+        tracing is on — never on the untraced hot path.
+        """
+        out: dict = {}
+        reqs = [[e.tag, e.seq] for e in self.entries if isinstance(e, EagerEntry)]
+        rdv = [
+            [e.req_id, e.tag, e.seq] for e in self.entries if isinstance(e, RdvReq)
+        ]
+        if reqs:
+            out["reqs"] = reqs
+        if rdv:
+            out["rdv"] = rdv
+        return out
+
     @property
     def data_entries(self) -> list[EagerEntry]:
         return [e for e in self.entries if isinstance(e, EagerEntry)]

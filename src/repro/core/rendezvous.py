@@ -39,6 +39,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Optional
 
+from ..obs.spans import TRACK_FAULTS
 from ..util.errors import ProtocolError
 from .gate import Segment
 from .packet import DmaChunk, Payload, RdvAck, RdvReq
@@ -217,6 +218,8 @@ class RdvManager:
                 now,
                 {
                     "req_id": state.req_id,
+                    "tag": state.segment.tag,
+                    "seq": state.segment.seq,
                     "bytes": state.segment.size,
                     "chunks": len(state.chunks),
                     "rails": [c[0] for c in state.chunks],
@@ -243,6 +246,21 @@ class RdvManager:
         attempt = state.retry_attempts.get(offset, 0)
         state.retry_attempts[offset] = attempt + 1
         delay = min(RETRY_BASE_US * (2.0 ** attempt), RETRY_CAP_US)
+        spans = self.engine.spans
+        if spans.enabled:
+            # causal retry edge: detected chunk loss → backoff → relaunch
+            spans.instant(
+                self.engine.node_id, TRACK_FAULTS, "chunk_lost", "fault",
+                self.engine.sim.now,
+                {
+                    "req_id": state.req_id,
+                    "offset": offset,
+                    "rail": self.engine.driver(rail_index).name,
+                    "attempt": attempt + 1,
+                    "backoff_us": delay,
+                    "dst": state.segment.dst_node,
+                },
+            )
         self.engine.sim.schedule(delay, self._retry_chunk, state, offset, length)
 
     def _retry_chunk(self, state: RdvSendState, offset: int, length: int) -> None:
@@ -258,6 +276,12 @@ class RdvManager:
             drv = engine.drivers[idx]
             if drv.usable and drv.dma_idle:
                 drv.nic.reserve_dma()
+                if engine.spans.enabled:
+                    engine.spans.instant(
+                        engine.node_id, TRACK_FAULTS, "chunk_retry", "fault",
+                        engine.sim.now,
+                        {"req_id": state.req_id, "offset": offset, "rail": drv.name},
+                    )
                 drv.start_dma(
                     dst_node=state.segment.dst_node,
                     req_id=state.req_id,
@@ -268,6 +292,11 @@ class RdvManager:
                     on_lost=self._make_on_lost(state, idx, offset, length),
                 )
                 return
+        if engine.spans.enabled:
+            engine.spans.instant(
+                engine.node_id, TRACK_FAULTS, "chunk_park", "fault", engine.sim.now,
+                {"req_id": state.req_id, "offset": offset, "park_us": RETRY_PARK_US},
+            )
         engine.sim.schedule(RETRY_PARK_US, self._retry_chunk, state, offset, length)
 
     def send_request(self, req_id: int):

@@ -32,7 +32,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from ..drivers.registry import make_driver
-from ..obs.spans import TRACK_PUMP, rail_track
+from ..obs.spans import TRACK_FAULTS, TRACK_PUMP, rail_track
 from ..sim.process import Process, Timeout, spawn
 from ..trace.tracer import Counters
 from ..util.errors import ApiError, ProtocolError
@@ -216,6 +216,16 @@ class NodeEngine:
         accounted for these segments at the original commit.
         """
         self.fault_retry_counter(rail_index).add()
+        if self.spans.enabled:
+            # causal retry edge: detected loss → re-queue of the entries
+            self.spans.instant(
+                self.node_id, TRACK_FAULTS, "eager_lost", "fault", self.sim.now,
+                {
+                    "rail": self.drivers[rail_index].name,
+                    "dst": pw.dst_node,
+                    **pw.identity_args(),
+                },
+            )
         for entry in pw.entries:
             self._retrans.append((pw.dst_node, entry))
         self.host.wake()
@@ -413,7 +423,12 @@ class NodeEngine:
                     continue
                 commit_span = spans.begin(
                     node, TRACK_PUMP, "commit", "commit", self.sim.now,
-                    {"rail": driver.name, "entries": len(pw.entries)}
+                    {
+                        "rail": driver.name,
+                        "entries": len(pw.entries),
+                        "dst": pw.dst_node,
+                        **pw.identity_args(),
+                    }
                     if spans.enabled
                     else None,
                 )

@@ -194,6 +194,7 @@ class Driver:
                     "entries": len(pw.entries),
                     "dst": pw.dst_node,
                     "offloaded": copy_offloaded,
+                    **pw.identity_args(),
                 },
             )
         return post if copy_offloaded else post + copy

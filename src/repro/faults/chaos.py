@@ -36,7 +36,7 @@ import os
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..core.session import Session
 from ..core.strategies.checker import CheckedStrategy
@@ -286,6 +286,7 @@ def run_chaos(
     jobs: Optional[int] = None,
     horizon_us: float = DEFAULT_HORIZON_US,
     messages: int = DEFAULT_MESSAGES,
+    on_case: Optional[Callable[[ChaosCase, dict], None]] = None,
 ) -> ChaosReport:
     """Run the full chaos matrix: every strategy under every seed.
 
@@ -293,6 +294,10 @@ def run_chaos(
     ``jobs`` follows the figure-runner convention (``None``→serial,
     ``0``→all cores).  Results are deterministic and independent of
     ``jobs`` — each case is an isolated simulator.
+
+    ``on_case(case, row)`` fires in the parent as each case's result
+    lands, in task order (``imap``), so the live endpoint can publish
+    incremental snapshots; the report is identical with or without it.
     """
     seed_list = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
     if not seed_list:
@@ -303,12 +308,20 @@ def run_chaos(
         for seed in seed_list
     ]
     n_procs = min(resolve_jobs(jobs), len(tasks))
+    rows: list[dict] = []
     if n_procs <= 1:
-        rows = [_run_case_task(t) for t in tasks]
+        for task in tasks:
+            row = _run_case_task(task)
+            rows.append(row)
+            if on_case is not None:
+                on_case(task, row)
     else:
         with _mp_context().Pool(processes=n_procs) as pool:
             # chunksize=1: case cost varies with the drawn message sizes
-            rows = pool.map(_run_case_task, tasks, chunksize=1)
+            for task, row in zip(tasks, pool.imap(_run_case_task, tasks, chunksize=1)):
+                rows.append(row)
+                if on_case is not None:
+                    on_case(task, row)
     return ChaosReport(rows)
 
 

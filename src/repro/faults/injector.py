@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..core.sampling import sample_rails
+from ..obs.spans import TRACK_FAULTS
 from ..util.errors import ConfigError
 from ..util.units import KB, MB
 from .plan import FaultEvent, FaultPlan
@@ -53,10 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.spec import PlatformSpec
     from ..sim.flows import Flow
 
-__all__ = ["FaultInjector", "RailFaultState"]
-
-#: span track used for fault windows in exported timelines.
-TRACK_FAULTS = "faults"
+__all__ = ["FaultInjector", "RailFaultState", "TRACK_FAULTS"]
 
 #: sizes used when a detected degradation re-triggers sampling.  Two
 #: points give an exact linear fit and keep the re-sample cheap enough to
@@ -329,11 +327,13 @@ class FaultInjector:
             # completion as soon as the post finishes.
             rail.drop_budget -= 1
             self._m_lost_eager[rail.index].add()
+            self._loss_span(driver, rail, pw, "drop")
             self.sim.schedule(send_done_delay, self._notify_eager_lost, driver, pw)
             return
         if rail.down:
             # sent into a dead wire; noticed one detection delay later.
             self._m_lost_eager[rail.index].add()
+            self._loss_span(driver, rail, pw, "dead_rail")
             self.sim.schedule(
                 send_done_delay + self.detect_us, self._notify_eager_lost, driver, pw
             )
@@ -349,6 +349,7 @@ class FaultInjector:
         if rail.down:
             # the rail died while the packet was in flight
             self._m_lost_eager[rail.index].add()
+            self._loss_span(driver, rail, pw, "in_flight")
             self.sim.schedule(self.detect_us, self._notify_eager_lost, driver, pw)
             return
         driver.fabric.packets_carried += 1
@@ -404,6 +405,23 @@ class FaultInjector:
             spans.instant(
                 0, TRACK_FAULTS, f"{kind}:{rail.name}", "fault", self.sim.now,
                 {"rail": rail.name, "kind": kind},
+            )
+
+    def _loss_span(
+        self, driver: "Driver", rail: RailFaultState, pw: "PacketWrapper", why: str
+    ) -> None:
+        """Ground-truth loss marker (the physical event; the *detected*
+        ``eager_lost`` instant on the engine trails it by ``detect_us``)."""
+        spans = self.session.spans
+        if spans.enabled:
+            spans.instant(
+                driver.node_id, TRACK_FAULTS, "eager_drop", "fault", self.sim.now,
+                {
+                    "rail": rail.name,
+                    "why": why,
+                    "dst": pw.dst_node,
+                    **pw.identity_args(),
+                },
             )
 
     def health_report(self) -> dict[str, str]:

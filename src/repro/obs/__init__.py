@@ -16,10 +16,39 @@ The three pieces compose (see README "Observability"):
 * :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text exposition
   of any metrics snapshot;
 * :mod:`repro.obs.runner` — parallel sweep runner fanning figure points
-  over worker processes with a deterministic ordered merge.
+  over worker processes with a deterministic ordered merge;
+* :mod:`repro.obs.critical_path` — causal event graph and per-request
+  critical-path attribution (every microsecond charged to a category,
+  summing exactly to the request's latency);
+* :mod:`repro.obs.server` — stdlib live HTTP endpoint serving the
+  OpenMetrics exposition (plus ``critpath.*``/``live.*`` gauges) while a
+  sweep is in flight;
+* :mod:`repro.obs.history` — cross-run trend and step-change analytics
+  over accumulated ``BENCH_*.json`` records, keyed by git SHA.
 """
 
 from .compare import CompareReport, Delta, compare_records, delta_table
+from .critical_path import (
+    CriticalPathReport,
+    RequestAttribution,
+    analyze_session,
+    attribute_requests,
+    attribution_table,
+    blame_by_rail,
+    blame_table,
+    build_graph,
+    category_totals,
+    critical_path_trace_events,
+    rail_timeline,
+    timeline_table,
+)
+from .history import (
+    HistoryReport,
+    build_history,
+    history_table,
+    load_history,
+    step_table,
+)
 from .export import (
     load_chrome_trace,
     to_chrome_trace,
@@ -48,6 +77,7 @@ from .perf import (
 )
 from .report import RequestLifecycle, lifecycle_report, lifecycle_table, poll_tax_by_rail
 from .runner import PointTask, resolve_jobs, run_point, run_sweep_parallel
+from .server import OPENMETRICS_CONTENT_TYPE, LiveMetricsServer, MetricsPublisher
 from .spans import NULL_SPAN, Span, SpanError, SpanRecorder
 
 __all__ = [
@@ -89,4 +119,24 @@ __all__ = [
     "resolve_jobs",
     "run_point",
     "run_sweep_parallel",
+    "CriticalPathReport",
+    "RequestAttribution",
+    "analyze_session",
+    "attribute_requests",
+    "attribution_table",
+    "blame_by_rail",
+    "blame_table",
+    "build_graph",
+    "category_totals",
+    "critical_path_trace_events",
+    "rail_timeline",
+    "timeline_table",
+    "MetricsPublisher",
+    "LiveMetricsServer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "HistoryReport",
+    "build_history",
+    "history_table",
+    "load_history",
+    "step_table",
 ]

@@ -204,6 +204,23 @@ def compare_records(
                 ok=ok,
             )
         )
+        # dispersion context: IQR rows never warn — a wide spread is a
+        # measurement-quality note, not a regression.  Older records
+        # predate the iqr key, so tolerate its absence on either side.
+        bi = None if bw is None or "iqr" not in bw else float(bw["iqr"])
+        ci = None if cw is None or "iqr" not in cw else float(cw["iqr"])
+        if bi is not None or ci is not None:
+            report.deltas.append(
+                Delta(
+                    bench=bench,
+                    label="",
+                    quantity="wall iqr (s)",
+                    baseline=bi,
+                    current=ci,
+                    gated=False,
+                    ok=True,
+                )
+            )
 
     # -- headline metrics counters (report-only context) --------------------
     for counter in _headline_counters(baseline.metrics, current.metrics):

@@ -1,0 +1,424 @@
+"""Cross-run bench analytics: trends and step changes over ``BENCH_*.json``.
+
+:mod:`repro.obs.compare` answers "did *this* run drift from *that*
+baseline?".  This module answers the longitudinal question: given every
+record a project has accumulated — CI artifacts, local runs, committed
+baselines — what is each quantity *doing over time*, and at which commit
+did it jump?
+
+A history is built from records ordered by ``created_unix`` and keyed by
+git SHA.  Every ``(bench, point, quantity)`` that appears in at least
+two records becomes a :class:`Series` of :class:`Sample` values, over
+which we compute
+
+* a **least-squares trend** (relative slope per run, so "+2%/run" reads
+  the same for microseconds and megabytes per second), and
+* **step changes** — consecutive runs whose relative delta exceeds a
+  threshold, annotated with the SHAs on each side.  Simulated quantities
+  are deterministic, so *any* step there is a behaviour change pinned to
+  a commit range; wall-clock steps use a looser threshold because
+  machines are noisy.
+
+Everything is stdlib: records load via :func:`repro.obs.perf.load_record`,
+and the report renders as text tables or plain JSON (``repro bench
+history --json``) for dashboards.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from ..util.errors import BenchError
+from ..util.tables import Table
+from .perf import SIM_FIELDS, BenchRecord, load_record, point_key
+
+__all__ = [
+    "Sample",
+    "StepChange",
+    "Series",
+    "HistoryReport",
+    "find_records",
+    "load_history",
+    "build_history",
+    "history_table",
+    "step_table",
+]
+
+#: default step threshold for deterministic simulated quantities — tiny,
+#: because any reproducible drift is a real behaviour change.
+SIM_STEP_THRESHOLD = 1e-9
+#: default step threshold for wall-clock medians (machines are noisy).
+WALL_STEP_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One quantity value from one run."""
+
+    run: str
+    created_unix: float
+    git_sha: Optional[str]
+    git_dirty: bool
+    value: float
+
+    @property
+    def sha_short(self) -> str:
+        if not self.git_sha:
+            return "?"
+        return self.git_sha[:10] + ("+" if self.git_dirty else "")
+
+
+@dataclass(frozen=True)
+class StepChange:
+    """A between-run jump larger than the series' threshold."""
+
+    index: int  # position of the *after* sample in the series
+    before: Sample
+    after: Sample
+
+    @property
+    def rel_delta(self) -> float:
+        if self.before.value == 0.0:
+            return 0.0 if self.after.value == 0.0 else float("inf")
+        return (self.after.value - self.before.value) / abs(self.before.value)
+
+
+@dataclass
+class Series:
+    """One quantity tracked across runs, oldest first."""
+
+    bench: str
+    label: str
+    quantity: str
+    kind: str  # "sim" (deterministic, gateable) or "wall" (noisy)
+    samples: list[Sample] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.bench, self.label, self.quantity)
+
+    @property
+    def values(self) -> list[float]:
+        return [s.value for s in self.samples]
+
+    @property
+    def first(self) -> Sample:
+        return self.samples[0]
+
+    @property
+    def last(self) -> Sample:
+        return self.samples[-1]
+
+    @property
+    def total_rel_change(self) -> float:
+        if self.first.value == 0.0:
+            return 0.0 if self.last.value == 0.0 else float("inf")
+        return (self.last.value - self.first.value) / abs(self.first.value)
+
+    def trend_per_run(self) -> float:
+        """Least-squares slope over run index, relative to the mean.
+
+        ``+0.02`` means the fitted line climbs ~2% of the series mean per
+        run.  Returns 0 for constant or single-sample series.
+        """
+        ys = self.values
+        n = len(ys)
+        if n < 2:
+            return 0.0
+        mean_y = sum(ys) / n
+        mean_x = (n - 1) / 2.0
+        num = sum((i - mean_x) * (y - mean_y) for i, y in enumerate(ys))
+        den = sum((i - mean_x) ** 2 for i in range(n))
+        slope = num / den
+        if mean_y == 0.0:
+            return 0.0 if slope == 0.0 else float("inf")
+        return slope / abs(mean_y)
+
+    def steps(self, threshold: float) -> list[StepChange]:
+        """Consecutive jumps whose relative delta exceeds ``threshold``."""
+        out = []
+        for i in range(1, len(self.samples)):
+            a, b = self.samples[i - 1], self.samples[i]
+            if a.value == b.value:
+                continue
+            scale = max(abs(a.value), abs(b.value))
+            if scale == 0.0:
+                continue
+            if abs(b.value - a.value) > threshold * scale:
+                out.append(StepChange(index=i, before=a, after=b))
+        return out
+
+    def to_dict(self, threshold: float) -> dict[str, Any]:
+        return {
+            "bench": self.bench,
+            "label": self.label,
+            "quantity": self.quantity,
+            "kind": self.kind,
+            "samples": [
+                {
+                    "run": s.run,
+                    "created_unix": s.created_unix,
+                    "git_sha": s.git_sha,
+                    "git_dirty": s.git_dirty,
+                    "value": s.value,
+                }
+                for s in self.samples
+            ],
+            "total_rel_change": self.total_rel_change,
+            "trend_per_run": self.trend_per_run(),
+            "steps": [
+                {
+                    "index": st.index,
+                    "before_sha": st.before.git_sha,
+                    "after_sha": st.after.git_sha,
+                    "before": st.before.value,
+                    "after": st.after.value,
+                    "rel_delta": st.rel_delta,
+                }
+                for st in self.steps(threshold)
+            ],
+        }
+
+
+@dataclass
+class HistoryReport:
+    """All series built from a record set, plus provenance notes."""
+
+    runs: list[dict[str, Any]]  # one entry per record, oldest first
+    series: list[Series]
+    sim_step_threshold: float = SIM_STEP_THRESHOLD
+    wall_step_threshold: float = WALL_STEP_THRESHOLD
+    notes: list[str] = field(default_factory=list)
+
+    def threshold_for(self, series: Series) -> float:
+        return (
+            self.sim_step_threshold
+            if series.kind == "sim"
+            else self.wall_step_threshold
+        )
+
+    @property
+    def step_changes(self) -> list[tuple[Series, StepChange]]:
+        out = []
+        for s in self.series:
+            for st in s.steps(self.threshold_for(s)):
+                out.append((s, st))
+        return out
+
+    def summary(self) -> str:
+        sim_steps = [
+            (s, st) for s, st in self.step_changes if s.kind == "sim"
+        ]
+        wall_steps = [
+            (s, st) for s, st in self.step_changes if s.kind == "wall"
+        ]
+        lines = [
+            f"history: {len(self.runs)} runs, {len(self.series)} series,"
+            f" {len(sim_steps)} simulated step change(s),"
+            f" {len(wall_steps)} wall-clock step change(s)"
+        ]
+        lines.extend(f"  note: {n}" for n in self.notes)
+        for s, st in sim_steps:
+            lines.append(
+                f"  STEP (simulated) {s.bench} {s.label} {s.quantity}:"
+                f" {st.before.value:.6g} -> {st.after.value:.6g}"
+                f" between {st.before.sha_short} and {st.after.sha_short}"
+            )
+        for s, st in wall_steps:
+            lines.append(
+                f"  step (wall) {s.bench} {s.label} {s.quantity}:"
+                f" {st.before.value:.4g}s -> {st.after.value:.4g}s"
+                f" between {st.before.sha_short} and {st.after.sha_short}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "runs": self.runs,
+            "sim_step_threshold": self.sim_step_threshold,
+            "wall_step_threshold": self.wall_step_threshold,
+            "notes": self.notes,
+            "series": [
+                s.to_dict(self.threshold_for(s)) for s in self.series
+            ],
+        }
+
+
+# --------------------------------------------------------------------- #
+# loading
+# --------------------------------------------------------------------- #
+def find_records(paths: Sequence[str]) -> list[str]:
+    """Expand directories to their ``BENCH_*.json`` files; keep files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            out.extend(sorted(glob.glob(os.path.join(path, "BENCH_*.json"))))
+        else:
+            out.append(path)
+    # de-duplicate while preserving order (a dir and an explicit file may
+    # both name the same record)
+    seen: set[str] = set()
+    unique = []
+    for p in out:
+        ap = os.path.abspath(p)
+        if ap not in seen:
+            seen.add(ap)
+            unique.append(p)
+    return unique
+
+
+def load_history(paths: Sequence[str]) -> list[BenchRecord]:
+    """Load records from files/directories, oldest first."""
+    files = find_records(paths)
+    if not files:
+        raise BenchError(f"no BENCH_*.json records found under {list(paths)}")
+    records = [load_record(p) for p in files]
+    records.sort(key=lambda r: (r.created_unix, r.name))
+    return records
+
+
+# --------------------------------------------------------------------- #
+# building
+# --------------------------------------------------------------------- #
+def _point_label(key: tuple) -> str:
+    kind, _bench, curve, strategy, size = key[:5]
+    window = key[7]
+    label = " ".join(x for x in (curve, strategy) if x) or kind
+    return f"{label} @{size}" + (f" w{window}" if window else "")
+
+
+def build_history(
+    records: Iterable[BenchRecord],
+    sim_step_threshold: float = SIM_STEP_THRESHOLD,
+    wall_step_threshold: float = WALL_STEP_THRESHOLD,
+) -> HistoryReport:
+    """Build per-quantity series over ``records`` (any order; re-sorted).
+
+    Records with a platform spec different from the most recent record's
+    are noted but still tracked — a spec change is itself the step the
+    analyst wants pinned to a commit.
+    """
+    recs = sorted(records, key=lambda r: (r.created_unix, r.name))
+    if not recs:
+        raise BenchError("no records to build a history from")
+    runs = [
+        {
+            "name": r.name,
+            "created_unix": r.created_unix,
+            "git_sha": r.git_sha,
+            "git_dirty": r.git_dirty,
+            "spec_sha256": r.spec_sha256,
+            "points": len(r.points),
+            "wall_benches": len(r.wall_clock_s),
+        }
+        for r in recs
+    ]
+    notes = []
+    specs = {r.spec_sha256 for r in recs}
+    if len(specs) > 1:
+        notes.append(
+            f"records span {len(specs)} distinct platform specs —"
+            " cross-spec deltas are not apples-to-apples"
+        )
+    dirty = [r.name for r in recs if r.git_dirty]
+    if dirty:
+        notes.append(f"dirty-tree runs (SHA imprecise): {dirty}")
+
+    series: dict[tuple[str, str, str, str], Series] = {}
+
+    def push(bench: str, label: str, quantity: str, kind: str, rec: BenchRecord, value: float) -> None:
+        skey = (bench, label, quantity, kind)
+        s = series.get(skey)
+        if s is None:
+            s = series[skey] = Series(bench=bench, label=label, quantity=quantity, kind=kind)
+        s.samples.append(
+            Sample(
+                run=rec.name,
+                created_unix=rec.created_unix,
+                git_sha=rec.git_sha,
+                git_dirty=rec.git_dirty,
+                value=value,
+            )
+        )
+
+    for rec in recs:
+        for point in rec.points:
+            key = point_key(point)
+            label = _point_label(key)
+            bench = point.get("bench", "?")
+            for fname in SIM_FIELDS:
+                if fname in point:
+                    push(bench, label, fname, "sim", rec, float(point[fname]))
+        for bench, wall in rec.wall_clock_s.items():
+            push(bench, "", "wall median (s)", "wall", rec, float(wall["median"]))
+            if "iqr" in wall:
+                push(bench, "", "wall iqr (s)", "wall", rec, float(wall["iqr"]))
+
+    ordered = sorted(series.values(), key=lambda s: (s.kind, s.bench, s.label, s.quantity))
+    return HistoryReport(
+        runs=runs,
+        series=ordered,
+        sim_step_threshold=sim_step_threshold,
+        wall_step_threshold=wall_step_threshold,
+        notes=notes,
+    )
+
+
+# --------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------- #
+def _fmt_rel(rel: float) -> str:
+    if rel == float("inf"):
+        return "inf"
+    return f"{rel:+.2%}"
+
+
+def history_table(report: HistoryReport, title: str = "Bench history") -> Table:
+    """One row per series: endpoints, total change, trend, step count."""
+    table = Table(
+        [
+            "kind", "bench", "point", "quantity", "runs",
+            "first", "last", "change", "trend/run", "steps",
+        ],
+        title=title,
+        precision=4,
+    )
+    for s in report.series:
+        steps = s.steps(report.threshold_for(s))
+        table.add_row(
+            s.kind,
+            s.bench,
+            s.label,
+            s.quantity,
+            len(s.samples),
+            f"{s.first.value:.6g}",
+            f"{s.last.value:.6g}",
+            _fmt_rel(s.total_rel_change),
+            _fmt_rel(s.trend_per_run()),
+            len(steps),
+        )
+    return table
+
+
+def step_table(report: HistoryReport, title: str = "Step changes") -> Table:
+    """One row per detected step, pinned to the SHA range that caused it."""
+    table = Table(
+        ["kind", "bench", "point", "quantity", "before", "after", "delta", "commits"],
+        title=title,
+        precision=4,
+    )
+    for s, st in report.step_changes:
+        table.add_row(
+            s.kind,
+            s.bench,
+            s.label,
+            s.quantity,
+            f"{st.before.value:.6g}",
+            f"{st.after.value:.6g}",
+            _fmt_rel(st.rel_delta),
+            f"{st.before.sha_short}..{st.after.sha_short}",
+        )
+    return table

@@ -182,6 +182,35 @@ SCHEMA: dict[str, MetricSpec] = {
             "init-time sampling re-runs triggered by detected degrade"
             " transitions (the Fig 7 ratio loop closed at runtime)",
         ),
+        # live-endpoint families (published by repro.obs.server while a
+        # bench/chaos sweep is in flight; never emitted by the engine)
+        MetricSpec(
+            "live.updates", "counter", "1",
+            "snapshot publications since the live endpoint started",
+        ),
+        MetricSpec(
+            "live.progress", "gauge", "1",
+            "completed units of the in-flight sweep, labelled by kind"
+            " (figures, points, cases)",
+        ),
+        MetricSpec(
+            "live.total", "gauge", "1",
+            "total units of the in-flight sweep, labelled by kind",
+        ),
+        # critical-path attribution gauges (repro.obs.critical_path)
+        MetricSpec(
+            "critpath.category_us", "gauge", "us",
+            "critical-path microseconds attributed per category across the"
+            " analyzed requests, labelled by category",
+        ),
+        MetricSpec(
+            "critpath.rail_us", "gauge", "us",
+            "critical-path microseconds blamed on one rail, labelled per rail",
+        ),
+        MetricSpec(
+            "critpath.requests", "gauge", "1",
+            "send requests covered by the critical-path attribution",
+        ),
     )
 }
 

@@ -222,12 +222,36 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
 def validate_openmetrics(text: str) -> dict[str, dict]:
     """Parse *and* check structural invariants; returns the families.
 
-    Beyond :func:`parse_openmetrics` this asserts, per histogram series:
-    bucket counts are cumulative (non-decreasing in ``le`` order), the
-    last bucket is ``le="+Inf"``, and ``_count`` equals the +Inf bucket.
+    Beyond :func:`parse_openmetrics` this asserts:
+
+    * **counter** families only carry ``_total``-suffixed samples
+      (mandatory in OpenMetrics; a bare counter sample is a bug in the
+      renderer or a mislabelled family — this is what keeps ``fault.*``
+      counters scrapable);
+    * **gauge** / **unknown** families only carry bare samples (no
+      reserved suffix);
+    * per histogram series: bucket counts are cumulative (non-decreasing
+      in ``le`` order), the last bucket is ``le="+Inf"``, and ``_count``
+      equals the +Inf bucket.
     """
     families = parse_openmetrics(text)
     for fam, entry in families.items():
+        if entry["type"] == "counter":
+            for sample_name, _labels, _value in entry["samples"]:
+                if sample_name != fam + "_total":
+                    raise ValueError(
+                        f"{fam}: counter sample {sample_name!r} must be"
+                        f" {fam + '_total'!r}"
+                    )
+            continue
+        if entry["type"] in ("gauge", "unknown"):
+            for sample_name, _labels, _value in entry["samples"]:
+                if sample_name != fam:
+                    raise ValueError(
+                        f"{fam}: {entry['type']} sample {sample_name!r} must"
+                        f" carry no suffix"
+                    )
+            continue
         if entry["type"] != "histogram":
             continue
         buckets: dict[tuple, list[tuple[float, float]]] = {}

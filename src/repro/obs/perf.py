@@ -254,15 +254,22 @@ class BenchRecorder:
         return n
 
     def record_wall_clock(self, bench: str, seconds: Sequence[float]) -> None:
-        """All reps of one wall-clock micro-benchmark (median computed)."""
+        """All reps of one wall-clock micro-benchmark (median + IQR)."""
         secs = [float(s) for s in seconds]
         if not secs:
             raise BenchError(f"no wall-clock samples for {bench!r}")
+        if len(secs) >= 2:
+            p25, _p50, p75 = statistics.quantiles(secs, n=4, method="inclusive")
+        else:
+            p25 = p75 = secs[0]
         self._wall[bench] = {
             "reps": len(secs),
             "median": statistics.median(secs),
             "min": min(secs),
             "max": max(secs),
+            "p25": p25,
+            "p75": p75,
+            "iqr": p75 - p25,
             "all": secs,
         }
 
@@ -381,14 +388,24 @@ ENGINE_BENCHES: dict[str, Callable[[], Any]] = {
 }
 
 
-def run_engine_suite(recorder: BenchRecorder, wall_reps: int = 5) -> None:
+def run_engine_suite(
+    recorder: BenchRecorder,
+    wall_reps: int = 5,
+    publish: Optional[Callable[[str, int, int], None]] = None,
+) -> None:
     """Run the substrate micro-benchmarks: wall-clock (noisy, report-only)
-    plus the deterministic simulated results of the ping-pong workloads."""
+    plus the deterministic simulated results of the ping-pong workloads.
+
+    ``publish(bench, done, total)`` fires after each micro-benchmark for
+    the live endpoint's incremental snapshots."""
     from ..bench.pingpong import PingPongResult
 
     if wall_reps < 1:
         raise BenchError(f"wall_reps must be >= 1, got {wall_reps}")
-    for bench, fn in ENGINE_BENCHES.items():
+    total = len(ENGINE_BENCHES)
+    if publish:
+        publish("", 0, total)
+    for done, (bench, fn) in enumerate(ENGINE_BENCHES.items(), start=1):
         secs = []
         result = None
         for _ in range(wall_reps):
@@ -400,6 +417,8 @@ def run_engine_suite(recorder: BenchRecorder, wall_reps: int = 5) -> None:
             recorder.record_point(
                 pingpong_point(result, bench=f"engine.{bench}")
             )
+        if publish:
+            publish(bench, done, total)
     recorder.record_metrics(metrics_probe())
 
 
@@ -409,25 +428,34 @@ def run_figure_suite(
     reps: int = 2,
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    publish: Optional[Callable[[str, int, int], None]] = None,
 ) -> None:
     """Run paper figures, recording every curve point and per-figure wall
     seconds; attaches the metrics probe if nothing recorded one yet.
 
     ``jobs`` > 1 fans each figure's points over a worker pool
     (:mod:`repro.obs.runner`); the simulated results — and therefore the
-    record's ``points`` section — are bit-identical to a serial run."""
+    record's ``points`` section — are bit-identical to a serial run.
+
+    ``publish(figure_id, done, total)`` fires after each figure finishes
+    (and once with ``done=0`` before the first), feeding the live
+    endpoint's incremental snapshots (:mod:`repro.obs.server`)."""
     from ..bench.figures import FIGURES, run_figure
 
     ids = list(figures) if figures else sorted(FIGURES)
     unknown = [i for i in ids if i not in FIGURES]
     if unknown:
         raise BenchError(f"unknown figures {unknown}; available: {sorted(FIGURES)}")
-    for figure_id in ids:
+    if publish:
+        publish("", 0, len(ids))
+    for done, figure_id in enumerate(ids, start=1):
         if progress:
             progress(figure_id)
         t0 = time.perf_counter()
         result = run_figure(figure_id, reps=reps, jobs=jobs)
         recorder.record_wall_clock(f"figure.{figure_id}", [time.perf_counter() - t0])
         recorder.record_figure(result)
+        if publish:
+            publish(figure_id, done, len(ids))
     if not recorder._metrics:
         recorder.record_metrics(metrics_probe())

@@ -32,7 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..util.errors import BenchError
 
@@ -119,7 +119,11 @@ def _mp_context():
 
 
 def run_sweep_parallel(
-    plan: "FigurePlan", reps: int = 3, warmup: int = 1, jobs: int = 2
+    plan: "FigurePlan",
+    reps: int = 3,
+    warmup: int = 1,
+    jobs: int = 2,
+    on_point: Optional[Callable[[PointTask, dict], None]] = None,
 ) -> "SweepResult":
     """Measure every point of ``plan`` across a process pool.
 
@@ -127,6 +131,12 @@ def run_sweep_parallel(
     skip rules for sizes smaller than the segment count, ragged-size
     dropping — but runs points concurrently and merges them back in task
     order.
+
+    ``on_point(task, row)`` fires in the parent process as each point's
+    result lands, **in task order** (``imap`` preserves it), so a live
+    publisher can stream incremental snapshots without touching the
+    determinism contract: the merged result is bit-identical with or
+    without the callback.
     """
     from ..bench.pingpong import PingPongResult
     from ..bench.sweep import SweepResult
@@ -154,12 +164,23 @@ def run_sweep_parallel(
     ]
     n_procs = min(jobs, len(tasks)) or 1
     if n_procs <= 1:
-        rows = [run_point(t) for t in tasks]
+        rows = []
+        for t in tasks:
+            row = run_point(t)
+            rows.append(row)
+            if on_point is not None:
+                on_point(t, row)
     else:
         with _mp_context().Pool(processes=n_procs) as pool:
             # chunksize=1: points vary in cost by orders of magnitude
             # (4 B vs 8 MB), so fine-grained dealing balances the pool.
-            rows = pool.map(run_point, tasks, chunksize=1)
+            # imap (not map) so results stream back as they land, still
+            # in task order — the live endpoint scrapes mid-sweep.
+            rows = []
+            for task, row in zip(tasks, pool.imap(run_point, tasks, chunksize=1)):
+                rows.append(row)
+                if on_point is not None:
+                    on_point(task, row)
 
     out = SweepResult(sizes=sizes, curves=labels)
     for label in labels:

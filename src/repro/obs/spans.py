@@ -31,6 +31,8 @@ __all__ = ["Span", "SpanRecorder", "SpanError", "NULL_SPAN"]
 TRACK_PUMP = "pump"
 #: track name of rendezvous handshakes.
 TRACK_RDV = "rdv"
+#: track name of fault windows and loss/retry markers.
+TRACK_FAULTS = "faults"
 
 
 def rail_track(rail_name: str) -> str:

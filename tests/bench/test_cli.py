@@ -127,6 +127,66 @@ def test_trace_target_aliases():
     assert resolve_trace_target("Fig5.py") is TRACE_TARGETS["fig5"]
 
 
+def test_trace_json_output(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "t.json"
+    assert main(["trace", "failover", "--json", "-o", str(trace)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["target"] == "failover"
+    assert doc["trace"]["span_events"] > 0
+    assert doc["kernel"]["events_executed"] > 0
+    assert doc["counters"]  # scalar metrics only, JSON-ready
+    assert set(doc["faults"]["health"]) == {"myri10g", "qsnet2"}
+    assert all(k.startswith("fault.") for k in doc["faults"]["counters"])
+    assert trace.exists()  # the trace file is still written
+
+
+def test_trace_json_without_faults(capsys, tmp_path):
+    import json
+
+    assert main(
+        ["trace", "fig6", "--json", "-o", str(tmp_path / "t.json")]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["faults"] is None
+
+
+def test_analyze_command(capsys, tmp_path):
+    from repro.obs import load_chrome_trace
+    from repro.obs.critical_path import OVERLAY_TID
+
+    overlay = tmp_path / "overlay.json"
+    assert main(["analyze", "fig6", "-o", str(overlay)]) == 0
+    out = capsys.readouterr().out
+    assert "Critical-path" in out or "blame" in out.lower()
+    assert "idle-poll tax on the critical path" in out
+    assert "causal graph:" in out
+    doc = load_chrome_trace(str(overlay))  # schema-validates
+    assert any(e.get("tid") == OVERLAY_TID for e in doc["traceEvents"])
+
+
+def test_analyze_json(capsys):
+    import json
+
+    from repro.obs.critical_path import CATEGORIES
+
+    assert main(["analyze", "failover", "--json", "--node", "0"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["requests"] and all(r["node"] == 0 for r in doc["requests"])
+    assert set(doc["category_totals"]) == set(CATEGORIES)
+    assert doc["category_totals"]["failover_retry"] > 0.0
+    for req in doc["requests"]:
+        assert sum(req["by_category"].values()) == pytest.approx(
+            req["total_us"], rel=1e-9, abs=1e-6
+        )
+
+
+def test_analyze_unknown_target(capsys):
+    assert main(["analyze", "fig99"]) == 2
+    assert "unknown trace target" in capsys.readouterr().err
+
+
 def test_extensions_subset(capsys):
     assert main(["extensions", "parallel_pio_latency"]) == 0
     assert "parallel PIO" in capsys.readouterr().out

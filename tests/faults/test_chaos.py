@@ -46,6 +46,27 @@ def test_run_chaos_grid_and_report():
     assert "4 cases, 4 passed, 0 failed" in summary
 
 
+def test_run_chaos_on_case_streams_in_task_order():
+    seen = []
+    report = run_chaos(
+        seeds=2,
+        strategies="greedy",
+        jobs=1,
+        on_case=lambda case, row: seen.append((case.seed, row["ok"])),
+    )
+    assert [s for s, _ in seen] == [0, 1]
+    assert [ok for _, ok in seen] == [c["ok"] for c in report.cases]
+
+
+def test_chaos_cli_with_live_endpoint(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--seeds", "1", "--strategies", "greedy", "--serve", "0"]) == 0
+    printed = capsys.readouterr().out
+    assert "live metrics: http://127.0.0.1:" in printed
+    assert "1 cases, 1 passed" in printed
+
+
 def test_save_failing_plans_writes_replay_artifacts(tmp_path):
     failing = {
         "strategy": "aggreg",

@@ -1,0 +1,213 @@
+"""Critical-path attribution: invariants, Fig 6 reconciliation, overlay.
+
+The central contract under test: every microsecond between a request's
+submit and its completion is charged to exactly one category, the charges
+sum to the request's total latency (no float drift beyond tolerance), the
+segments form one gap-free chain, and the causal graph that backs them is
+reachable from the submit event.  On the Fig 6 workload the idle-poll
+attribution must reproduce the lifecycle report's poll-tax numbers
+*exactly* — same spans, same overlap formula, so not even float slack.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import run_traced
+from repro.obs import to_chrome_trace, validate_chrome_trace
+from repro.obs.critical_path import (
+    CATEGORIES,
+    OVERLAY_TID,
+    analyze_session,
+    attribute_requests,
+    attribution_table,
+    blame_by_rail,
+    blame_table,
+    build_graph,
+    category_totals,
+    critical_path_trace_events,
+    rail_timeline,
+    timeline_table,
+)
+from repro.obs.report import lifecycle_report, poll_tax_by_rail
+
+
+@pytest.fixture(scope="module")
+def fig6_session():
+    """The paper's Fig 6 workload: aggregation on both rails, traced."""
+    return run_traced("fig6")
+
+
+@pytest.fixture(scope="module")
+def fig6_report(fig6_session):
+    return analyze_session(fig6_session)
+
+
+@pytest.fixture(scope="module")
+def failover_session():
+    """A traced run under a fault plan (chunk losses, retries)."""
+    return run_traced("failover")
+
+
+@pytest.fixture(scope="module")
+def failover_report(failover_session):
+    return analyze_session(failover_session)
+
+
+class TestInvariants:
+    def test_fig6_attributions_verify_clean(self, fig6_report):
+        assert fig6_report.verify() == []
+        assert fig6_report.attributions  # the workload did complete sends
+
+    def test_attributed_sums_to_total_per_request(self, fig6_report):
+        for attr in fig6_report.attributions:
+            assert math.isclose(
+                attr.attributed_us, attr.total_us, rel_tol=1e-9, abs_tol=1e-6
+            )
+
+    def test_segments_form_connected_chain(self, fig6_report):
+        for attr in fig6_report.attributions:
+            assert attr.connected()
+            for a, b in zip(attr.segments, attr.segments[1:]):
+                assert a.t1 == b.t0  # exact adjacency, not just closeness
+
+    def test_categories_closed_set(self, fig6_report):
+        for attr in fig6_report.attributions:
+            for seg in attr.segments:
+                assert seg.category in CATEGORIES
+                assert seg.duration > 0.0
+
+    def test_category_totals_sum_to_grand_total(self, fig6_report):
+        totals = category_totals(fig6_report.attributions)
+        assert set(totals) <= set(CATEGORIES)
+        grand = sum(a.total_us for a in fig6_report.attributions)
+        assert sum(totals.values()) == pytest.approx(grand, rel=1e-9)
+
+    def test_node_filter_restricts_attributions(self, fig6_session):
+        only0 = attribute_requests(fig6_session, node_id=0)
+        assert only0 and all(a.node == 0 for a in only0)
+        both = attribute_requests(fig6_session)
+        assert {a.node for a in both} == {0, 1}
+
+
+class TestFig6Reconciliation:
+    """The acceptance criterion: critical-path idle-poll attribution
+    reproduces the lifecycle report's Fig 6 poll-tax numbers exactly."""
+
+    def test_poll_tax_totals_match_lifecycle_exactly(
+        self, fig6_session, fig6_report
+    ):
+        lifecycle = lifecycle_report(fig6_session)
+        assert fig6_report.poll_tax_totals() == poll_tax_by_rail(lifecycle)
+
+    def test_poll_tax_matches_per_request(self, fig6_session, fig6_report):
+        rows = {
+            (r.node, r.peer, r.tag, r.seq): r for r in lifecycle_report(fig6_session)
+        }
+        assert len(rows) == len(fig6_report.attributions)
+        for attr in fig6_report.attributions:
+            row = rows[(attr.node, attr.peer, attr.tag, attr.seq)]
+            assert attr.poll_tax_by_rail == row.poll_tax_by_rail  # bit-exact
+            assert attr.total_us == row.total_us
+            assert attr.size == row.size
+
+    def test_multirail_pays_idle_poll_on_both_rails(self, fig6_report):
+        """Fig 6's point: with two rails, the idle NIC's mandatory polls
+        tax the critical path even for requests that never touch it."""
+        tax = fig6_report.poll_tax_totals()
+        assert set(tax) == {"myri10g", "qsnet2"}
+        assert all(us > 0.0 for us in tax.values())
+        assert category_totals(fig6_report.attributions)["idle_poll"] > 0.0
+
+
+class TestCausalGraph:
+    def test_every_request_reachable_from_submit(self, fig6_session):
+        graph = build_graph(fig6_session)
+        assert graph.requests
+        for key in graph.requests:
+            assert graph.reachable(key)
+
+    def test_request_chain_has_expected_stages(self, fig6_session):
+        graph = build_graph(fig6_session)
+        kinds = {e.kind for e in graph.events}
+        assert {"submit", "commit", "pio", "complete"} <= kinds
+        for eids in graph.requests.values():
+            ordered = [graph.events[e] for e in eids]
+            assert ordered[0].kind == "submit"
+            assert ordered[-1].kind == "complete"
+            assert ordered == sorted(ordered, key=lambda e: (e.t0, e.eid))
+
+    def test_failover_graph_records_loss_and_retry(self, failover_session):
+        graph = build_graph(failover_session)
+        kinds = {e.kind for e in graph.events}
+        assert "chunk_lost" in kinds
+        assert "chunk_retry" in kinds
+        for key in graph.requests:
+            assert graph.reachable(key)
+
+
+class TestFailoverAttribution:
+    def test_failover_report_verifies_clean(self, failover_report):
+        assert failover_report.verify() == []
+
+    def test_failover_retry_time_attributed(self, failover_report):
+        totals = category_totals(failover_report.attributions)
+        assert totals.get("failover_retry", 0.0) > 0.0
+
+    def test_fault_free_run_has_no_failover_time(self, fig6_report):
+        totals = category_totals(fig6_report.attributions)
+        assert totals.get("failover_retry", 0.0) == 0.0
+
+
+class TestRailTimeline:
+    def test_utilization_bounded_and_binned(self, fig6_session):
+        timeline = rail_timeline(fig6_session, bins=16)
+        assert set(timeline.utilization) == {"myri10g", "qsnet2"}
+        for series in timeline.utilization.values():
+            assert len(series) == 16
+            assert all(0.0 <= u <= 1.0 + 1e-9 for u in series)
+
+    def test_imbalance_is_max_minus_min(self, fig6_session):
+        timeline = rail_timeline(fig6_session, bins=8)
+        for i, imb in enumerate(timeline.imbalance):
+            us = [s[i] for s in timeline.utilization.values()]
+            assert imb == pytest.approx(max(us) - min(us))
+
+
+class TestRendering:
+    def test_tables_render(self, fig6_report):
+        blame = blame_table(fig6_report.attributions).render()
+        assert "idle_poll" in blame or "dma" in blame
+        assert attribution_table(fig6_report.attributions).render()
+        assert timeline_table(fig6_report.timeline).render()
+        by_rail = blame_by_rail(fig6_report.attributions)
+        assert set(by_rail) <= {"myri10g", "qsnet2", ""}
+
+    def test_report_to_dict_is_json_shaped(self, fig6_report):
+        import json
+
+        doc = fig6_report.to_dict()
+        json.dumps(doc)  # no exotic types
+        assert doc["requests"]
+        for req in doc["requests"]:
+            assert set(req["by_category"]) == set(CATEGORIES)
+
+    def test_overlay_merges_into_valid_chrome_trace(
+        self, fig6_session, fig6_report
+    ):
+        doc = to_chrome_trace(fig6_session)
+        base_events = len(doc["traceEvents"])
+        overlay = critical_path_trace_events(fig6_report.attributions)
+        doc["traceEvents"].extend(overlay)
+        assert validate_chrome_trace(doc) == []
+        lanes = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["tid"] == OVERLAY_TID
+        ]
+        assert lanes and all(
+            e["args"]["name"] == "critical path" for e in lanes
+        )
+        segs = [
+            e for e in doc["traceEvents"][base_events:] if e["ph"] == "X"
+        ]
+        assert segs and all(s["name"] in CATEGORIES for s in segs)

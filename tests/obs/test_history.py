@@ -1,0 +1,208 @@
+"""Cross-run bench history: series building, trends, step detection."""
+
+import pytest
+
+from repro.obs.history import (
+    SIM_STEP_THRESHOLD,
+    WALL_STEP_THRESHOLD,
+    build_history,
+    find_records,
+    history_table,
+    load_history,
+    step_table,
+)
+from repro.obs.perf import BenchRecord
+from repro.util.errors import BenchError
+
+
+def _record(name, created, sha, one_way_us, wall_median, iqr=0.001, spec_sha="S"):
+    wall = {
+        "reps": 3,
+        "median": wall_median,
+        "min": wall_median * 0.9,
+        "max": wall_median * 1.1,
+        "p25": wall_median - iqr / 2,
+        "p75": wall_median + iqr / 2,
+        "iqr": iqr,
+        "all": [wall_median] * 3,
+    }
+    return BenchRecord(
+        name=name,
+        created_unix=created,
+        git_sha=sha,
+        git_dirty=False,
+        python="3",
+        platform_info="test",
+        spec={},
+        spec_sha256=spec_sha,
+        points=[
+            {
+                "kind": "pingpong",
+                "bench": "fig3",
+                "curve": "2 rails",
+                "strategy": "",
+                "size": 64,
+                "segments": 1,
+                "reps": 3,
+                "one_way_us": one_way_us,
+                "bandwidth_MBps": 64.0 / one_way_us,
+            }
+        ],
+        wall_clock_s={"engine.event_kernel_10k": wall},
+    )
+
+
+@pytest.fixture()
+def three_runs():
+    return [
+        _record("r1", 100.0, "a" * 40, 5.0, 0.010),
+        _record("r2", 200.0, "b" * 40, 5.0, 0.011),
+        _record("r3", 300.0, "c" * 40, 4.0, 0.011),  # simulated step at c
+    ]
+
+
+class TestSeries:
+    def test_records_sorted_by_created_time(self, three_runs):
+        report = build_history(reversed(three_runs))
+        assert [r["name"] for r in report.runs] == ["r1", "r2", "r3"]
+        for series in report.series:
+            times = [s.created_unix for s in series.samples]
+            assert times == sorted(times)
+
+    def test_sim_and_wall_series_built(self, three_runs):
+        report = build_history(three_runs)
+        keys = {(s.kind, s.bench, s.quantity) for s in report.series}
+        assert ("sim", "fig3", "one_way_us") in keys
+        assert ("sim", "fig3", "bandwidth_MBps") in keys
+        assert ("wall", "engine.event_kernel_10k", "wall median (s)") in keys
+        assert ("wall", "engine.event_kernel_10k", "wall iqr (s)") in keys
+
+    def test_samples_keyed_by_git_sha(self, three_runs):
+        report = build_history(three_runs)
+        series = next(s for s in report.series if s.quantity == "one_way_us")
+        assert [s.git_sha for s in series.samples] == ["a" * 40, "b" * 40, "c" * 40]
+        assert series.samples[0].sha_short == "a" * 10
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(BenchError):
+            build_history([])
+
+
+class TestStepDetection:
+    def test_simulated_step_pinned_to_commit_range(self, three_runs):
+        report = build_history(three_runs)
+        sim_steps = [
+            (s, st) for s, st in report.step_changes if s.kind == "sim"
+        ]
+        assert sim_steps
+        series, step = next(
+            (s, st) for s, st in sim_steps if s.quantity == "one_way_us"
+        )
+        assert step.before.git_sha == "b" * 40
+        assert step.after.git_sha == "c" * 40
+        assert step.rel_delta == pytest.approx(-0.2)
+
+    def test_any_simulated_drift_is_a_step(self):
+        """Deterministic quantities use the tiny default threshold: even a
+        1e-6 relative wobble is a behaviour change."""
+        runs = [
+            _record("r1", 1.0, "a" * 40, 5.0, 0.01),
+            _record("r2", 2.0, "b" * 40, 5.0 * (1 + 1e-6), 0.01),
+        ]
+        report = build_history(runs)
+        assert any(
+            s.quantity == "one_way_us"
+            for s, _ in report.step_changes
+            if s.kind == "sim"
+        )
+
+    def test_wall_noise_below_threshold_not_a_step(self, three_runs):
+        report = build_history(three_runs)  # 0.010 -> 0.011 is +10% < 25%
+        wall_steps = [
+            (s, st)
+            for s, st in report.step_changes
+            if s.kind == "wall" and s.quantity == "wall median (s)"
+        ]
+        assert wall_steps == []
+
+    def test_custom_thresholds_respected(self, three_runs):
+        report = build_history(
+            three_runs, sim_step_threshold=0.5, wall_step_threshold=0.01
+        )
+        kinds = {s.kind for s, _ in report.step_changes}
+        assert kinds == {"wall"}  # -20% sim step suppressed, +10% wall fires
+        assert report.sim_step_threshold == 0.5
+        assert SIM_STEP_THRESHOLD < WALL_STEP_THRESHOLD
+
+
+class TestTrend:
+    def test_constant_series_has_zero_trend(self):
+        runs = [
+            _record(f"r{i}", float(i), "a" * 40, 5.0, 0.01) for i in range(4)
+        ]
+        report = build_history(runs)
+        series = next(s for s in report.series if s.quantity == "one_way_us")
+        assert series.trend_per_run() == 0.0
+        assert series.total_rel_change == 0.0
+
+    def test_monotonic_series_trend_sign(self):
+        runs = [
+            _record(f"r{i}", float(i), "a" * 40, 5.0 + i, 0.01) for i in range(4)
+        ]
+        report = build_history(runs)
+        series = next(s for s in report.series if s.quantity == "one_way_us")
+        assert series.trend_per_run() > 0.0
+        # exact least squares on a perfect line: slope 1 / mean 6.5
+        assert series.trend_per_run() == pytest.approx(1 / 6.5)
+
+
+class TestProvenanceNotes:
+    def test_mixed_specs_noted(self):
+        runs = [
+            _record("r1", 1.0, "a" * 40, 5.0, 0.01, spec_sha="S1"),
+            _record("r2", 2.0, "b" * 40, 5.0, 0.01, spec_sha="S2"),
+        ]
+        report = build_history(runs)
+        assert any("platform specs" in n for n in report.notes)
+
+    def test_dirty_runs_noted(self):
+        rec = _record("r1", 1.0, "a" * 40, 5.0, 0.01)
+        rec.git_dirty = True
+        report = build_history([rec, _record("r2", 2.0, "b" * 40, 5.0, 0.01)])
+        assert any("dirty" in n for n in report.notes)
+        series = next(s for s in report.series if s.quantity == "one_way_us")
+        assert series.samples[0].sha_short.endswith("+")
+
+
+class TestLoadingAndRendering:
+    def test_load_history_from_dir_and_files(self, tmp_path, three_runs):
+        for rec in three_runs:
+            rec.write(str(tmp_path / f"BENCH_{rec.name}.json"))
+        (tmp_path / "not_a_record.json").write_text("{}")
+        files = find_records([str(tmp_path)])
+        assert len(files) == 3  # only BENCH_*.json picked up from dirs
+        records = load_history([str(tmp_path)])
+        assert [r.name for r in records] == ["r1", "r2", "r3"]
+        # explicit file + the dir holding it: de-duplicated
+        both = find_records([str(tmp_path / "BENCH_r1.json"), str(tmp_path)])
+        assert len(both) == 3
+
+    def test_load_history_empty_rejected(self, tmp_path):
+        with pytest.raises(BenchError, match="no BENCH_"):
+            load_history([str(tmp_path)])
+
+    def test_tables_and_json_render(self, three_runs):
+        report = build_history(three_runs)
+        text = history_table(report).render()
+        assert "one_way_us" in text and "wall median (s)" in text
+        steps = step_table(report).render()
+        assert ("b" * 10 + ".." + "c" * 10) in steps
+        import json
+
+        doc = report.to_dict()
+        json.dumps(doc)
+        assert len(doc["runs"]) == 3
+        one_way = next(
+            s for s in doc["series"] if s["quantity"] == "one_way_us"
+        )
+        assert one_way["steps"][0]["after_sha"] == "c" * 40

@@ -122,6 +122,72 @@ class TestParseRoundTrip:
         assert count == h.count and total == pytest.approx(h.total)
 
 
+class TestValidatorConventions:
+    def test_counter_sample_without_total_suffix_rejected(self):
+        text = "# TYPE repro_x counter\nrepro_x 1\n# EOF\n"
+        with pytest.raises(ValueError, match="_total"):
+            validate_openmetrics(text)
+
+    def test_gauge_sample_with_suffix_rejected(self):
+        text = "# TYPE repro_x gauge\nrepro_x_total 1\n# EOF\n"
+        with pytest.raises(ValueError, match="no suffix"):
+            validate_openmetrics(text)
+
+    def test_well_formed_counter_and_gauge_accepted(self):
+        reg = MetricsRegistry()
+        reg.counter("fault.retries", rail="myri10g").add(2)
+        reg.gauge("fault.rail_state", rail="myri10g").set(1)
+        families = validate_openmetrics(render_openmetrics(reg))
+        assert families["repro_fault_retries"]["type"] == "counter"
+        assert families["repro_fault_rail_state"]["type"] == "gauge"
+
+
+class TestFaultFamilyExposition:
+    """The ``fault.*`` schema families render scrapably (satellite of the
+    critical-path PR: chaos sweeps publish these to the live endpoint)."""
+
+    def test_declared_fault_counters_render_with_total(self):
+        reg = MetricsRegistry()
+        reg.counter("fault.lost.eager", rail="qsnet2").add(1)
+        reg.counter("fault.lost.chunks", rail="qsnet2").add(3)
+        reg.counter("fault.retries", rail="qsnet2").add(4)
+        reg.counter("fault.downtime_us", rail="qsnet2").add(125.5)
+        reg.gauge("fault.rail_state", rail="qsnet2").set(2)
+        text = render_openmetrics(reg)
+        assert 'repro_fault_lost_eager_total{rail="qsnet2"} 1' in text
+        assert 'repro_fault_lost_chunks_total{rail="qsnet2"} 3' in text
+        assert 'repro_fault_retries_total{rail="qsnet2"} 4' in text
+        assert 'repro_fault_downtime_us_total{rail="qsnet2"} 125.5' in text
+        assert 'repro_fault_rail_state{rail="qsnet2"} 2' in text
+        assert "# UNIT repro_fault_downtime_us us" in text
+        families = validate_openmetrics(text)
+        assert set(families) == {
+            "repro_fault_lost_eager",
+            "repro_fault_lost_chunks",
+            "repro_fault_retries",
+            "repro_fault_downtime_us",
+            "repro_fault_rail_state",
+        }
+
+    def test_chaos_case_snapshot_validates(self):
+        """A real faulted run's snapshot is validator-clean and exposes
+        the fault families with the right kinds."""
+        from repro.faults.chaos import ChaosCase, run_case
+
+        row = run_case(ChaosCase("greedy", seed=3))
+        families = validate_openmetrics(render_openmetrics(row["digest"]["metrics"]))
+        fault_fams = {f: e for f, e in families.items() if f.startswith("repro_fault_")}
+        assert "repro_fault_events" in fault_fams
+        for fam, entry in fault_fams.items():
+            expected = "gauge" if fam == "repro_fault_rail_state" else "counter"
+            assert entry["type"] == expected, fam
+            for name, _labels, _value in entry["samples"]:
+                if expected == "counter":
+                    assert name == fam + "_total"
+                else:
+                    assert name == fam
+
+
 class TestLiveSessionExposition:
     def test_real_session_snapshot_validates(self, plat2):
         """The acceptance round-trip: a real engine run's snapshot renders

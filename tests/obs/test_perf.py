@@ -52,6 +52,22 @@ class TestRecord:
         assert w["median"] == 0.3 and w["reps"] == 3
         assert w["min"] == 0.1 and w["max"] == 0.5
 
+    def test_wall_clock_iqr(self, small_record):
+        import statistics
+
+        w = small_record.wall_clock_s["unit.wall"]
+        p25, _, p75 = statistics.quantiles(
+            [0.5, 0.1, 0.3], n=4, method="inclusive"
+        )
+        assert w["p25"] == p25 and w["p75"] == p75
+        assert w["iqr"] == pytest.approx(p75 - p25)
+
+    def test_wall_clock_single_rep_iqr_zero(self):
+        rec = BenchRecorder("unit")
+        rec.record_wall_clock("one", [0.25])
+        w = rec.finish().wall_clock_s["one"]
+        assert w["p25"] == w["p75"] == 0.25 and w["iqr"] == 0.0
+
     def test_json_round_trip(self, small_record, tmp_path):
         path = small_record.write(str(tmp_path / "BENCH_unit.json"))
         loaded = load_record(path)
@@ -126,6 +142,34 @@ class TestCompare:
         report = compare_records(small_record, slow)
         assert report.ok  # never gates
         assert any(not d.gated and not d.ok for d in report.deltas)
+
+    def test_iqr_surfaced_as_pure_context(self, small_record):
+        """IQR rows appear in the delta table but can never warn or gate —
+        dispersion is a measurement-quality note, not a regression."""
+        wide = BenchRecord.from_dict(small_record.to_dict())
+        w = wide.wall_clock_s["unit.wall"]
+        w["p25"], w["p75"], w["iqr"] = 0.0, 10.0, 10.0
+        report = compare_records(small_record, wide)
+        iqr_rows = [d for d in report.deltas if d.quantity == "wall iqr (s)"]
+        assert len(iqr_rows) == 1
+        row = iqr_rows[0]
+        assert not row.gated and row.ok  # even a 50x spread never flags
+        assert row.current == 10.0
+        assert "wall iqr (s)" in delta_table(report).render()
+
+    def test_baseline_without_iqr_tolerated(self, small_record):
+        """Records written before the iqr key existed still compare."""
+        old = BenchRecord.from_dict(small_record.to_dict())
+        for w in old.wall_clock_s.values():
+            for key in ("p25", "p75", "iqr"):
+                w.pop(key, None)
+        report = compare_records(old, small_record)
+        assert report.ok
+        row = next(d for d in report.deltas if d.quantity == "wall iqr (s)")
+        assert row.baseline is None and row.current is not None and row.ok
+        # neither side has it -> no iqr row at all
+        report2 = compare_records(old, old)
+        assert not any(d.quantity == "wall iqr (s)" for d in report2.deltas)
 
     def test_missing_point_gates(self, small_record):
         shrunk = BenchRecord.from_dict(small_record.to_dict())
@@ -203,6 +247,43 @@ class TestCli:
         assert main(["metrics", "-f", "json"]) == 0
         snap = json.loads(capsys.readouterr().out)
         assert snap == metrics_probe()
+
+    def test_bench_run_with_live_endpoint(self, tmp_path, capsys):
+        """--serve 0 starts the live endpoint for the duration of the run."""
+        out = str(tmp_path / "BENCH_live.json")
+        assert main(
+            ["bench", "run", "--engine", "--wall-reps", "1", "--serve", "0",
+             "-o", out]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "live metrics: http://127.0.0.1:" in printed
+        assert load_record(out).points  # the record still lands
+
+    def test_bench_history_cli(self, tmp_path, capsys, small_record):
+        drifted = BenchRecord.from_dict(small_record.to_dict())
+        drifted.created_unix += 100.0
+        drifted.git_sha = "f" * 40
+        for p in drifted.points:
+            if "one_way_us" in p:
+                p["one_way_us"] *= 1.5
+        small_record.write(str(tmp_path / "BENCH_old.json"))
+        drifted.write(str(tmp_path / "BENCH_new.json"))
+        assert main(["bench", "history", str(tmp_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "Bench history" in printed
+        assert "Step changes" in printed  # the 1.5x sim drift is a step
+        assert "history: 2 runs" in printed
+
+    def test_bench_history_json(self, tmp_path, capsys, small_record):
+        small_record.write(str(tmp_path / "BENCH_one.json"))
+        assert main(["bench", "history", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["runs"]) == 1
+        assert any(s["quantity"] == "wall iqr (s)" for s in doc["series"])
+
+    def test_bench_history_no_records(self, tmp_path, capsys):
+        assert main(["bench", "history", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
 
     def test_pingpong_json_point(self, capsys):
         assert main(["pingpong", "--size", "4K", "--strategy", "greedy", "--json"]) == 0
