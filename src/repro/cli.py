@@ -20,16 +20,23 @@ Commands
 ``bench history``cross-run trend / step-change analytics over BENCH_*.json
 ``metrics``      run the canonical probe workload and print its metrics
                  (OpenMetrics or JSON)
+``ledger``       queryable SQLite run ledger: ingest bench records, chaos
+                 reports, fault plans and event logs; query by git SHA
 ``list``         show available strategies, drivers and rail presets
 
 Every command accepts ``--platform config.json`` (see
 :mod:`repro.util.config`) and defaults to the paper's 2-node
-Myri-10G + Quadrics testbed.
+Myri-10G + Quadrics testbed.  Global ``--log-level``/``--log-json``/
+``--log-file`` route all diagnostics through the structured event log
+(:mod:`repro.obs.log`); ``repro bench run`` and ``repro chaos`` bind a
+``run_id`` correlation id (``--run-id`` / ``$REPRO_RUN_ID`` / generated)
+into every event and artifact they produce.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -72,6 +79,33 @@ ABLATIONS = {
 }
 
 
+def _add_stream_flags(p: argparse.ArgumentParser) -> None:
+    """Streaming/sampled tracing flags shared by ``trace`` and ``analyze``."""
+    p.add_argument(
+        "--stream", metavar="JSONL",
+        help="record through a bounded-memory StreamingTracer spilling"
+        " spans to JSONL (replayable with 'repro ledger' artifacts /"
+        " load_span_stream)",
+    )
+    p.add_argument(
+        "--stream-window", type=int, default=1024, metavar="N",
+        help="max closed spans held in memory while streaming (default: 1024)",
+    )
+    p.add_argument(
+        "--sample-rate", type=float, default=1.0, metavar="R",
+        help="keep this fraction of span trees, decided by a seeded hash"
+        " of each root span's identity (deterministic; default: 1.0)",
+    )
+    p.add_argument(
+        "--sample-head", type=int, default=None, metavar="N",
+        help="keep only the first N spans of the run (by span id)",
+    )
+    p.add_argument(
+        "--sample-seed", type=int, default=0, metavar="S",
+        help="seed of the rate-sampling hash (default: 0)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -79,6 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--platform", metavar="JSON", help="platform config file (default: paper testbed)"
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warn", "error"), default="info",
+        help="structured-event severity floor (default: info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="render stderr diagnostics as JSONL instead of text",
+    )
+    parser.add_argument(
+        "--log-file", metavar="JSONL",
+        help="also append machine-readable events to JSONL (what"
+        " 'repro ledger ingest' reads)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -152,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a machine-readable summary (kernel stats, counters,"
         " fault health) instead of text",
     )
+    _add_stream_flags(t)
 
     an = sub.add_parser(
         "analyze",
@@ -178,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", metavar="JSON",
         help="also write the Chrome trace with the critical-path overlay lane",
     )
+    _add_stream_flags(an)
 
     b = sub.add_parser("bench", help="benchmark run registry and regression gate")
     bsub = b.add_subparsers(dest="bench_command", required=True)
@@ -210,6 +259,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--serve", type=int, default=None, metavar="PORT",
         help="serve live OpenMetrics on 127.0.0.1:PORT while the run is in"
         " flight (0 = pick a free port)",
+    )
+    br.add_argument(
+        "--ledger", metavar="DB",
+        help="ingest the finished record (and --log-file events) into this"
+        " SQLite run ledger",
+    )
+    br.add_argument(
+        "--run-id", metavar="ID",
+        help="correlation id tying events/record/ledger rows together"
+        " (default: $REPRO_RUN_ID, else generated)",
     )
 
     bc = bsub.add_parser("compare", help="diff two run records")
@@ -287,6 +346,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve live OpenMetrics on 127.0.0.1:PORT while the sweep runs"
         " (0 = pick a free port)",
     )
+    c.add_argument(
+        "--ledger", metavar="DB",
+        help="ingest the sweep's cases (and --log-file events, failing"
+        " plans) into this SQLite run ledger",
+    )
+    c.add_argument(
+        "--run-id", metavar="ID",
+        help="correlation id tying events/cases/ledger rows together"
+        " (default: $REPRO_RUN_ID, else generated)",
+    )
+
+    lg = sub.add_parser(
+        "ledger",
+        help="queryable SQLite run ledger over bench/chaos/event artifacts",
+    )
+    lg.add_argument(
+        "--db", metavar="FILE", default=None,
+        help="ledger database path (default: bench_results/ledger.db)",
+    )
+    lgsub = lg.add_subparsers(dest="ledger_command", required=True)
+
+    li = lgsub.add_parser(
+        "ingest",
+        help="ingest BENCH_*.json / chaos reports / fault plans / event logs"
+        " (auto-detected by content)",
+    )
+    li.add_argument("paths", nargs="+", metavar="FILE")
+    li.add_argument(
+        "--run-id", help="fallback run id for artifacts that carry none"
+    )
+
+    lq = lgsub.add_parser("query", help="list runs, newest first")
+    lq.add_argument(
+        "--sha", metavar="REF",
+        help="git SHA prefix; symbolic refs like HEAD are resolved via git",
+    )
+    lq.add_argument("--run-id", help="exact run id")
+    lq.add_argument("--kind", help="substring of the run kind (bench/chaos/events)")
+    lq.add_argument("--limit", type=int, default=20)
+    lq.add_argument("--json", action="store_true", help="emit rows as JSON")
+
+    lsh = lgsub.add_parser("show", help="everything the ledger holds on one run")
+    lsh.add_argument("run_id")
+
+    lgc = lgsub.add_parser("gc", help="drop all but the newest N runs")
+    lgc.add_argument("--keep", type=int, default=50, metavar="N")
 
     m = sub.add_parser(
         "metrics", help="run the canonical probe workload and print its metrics"
@@ -422,6 +527,29 @@ def _cmd_experiments(args) -> int:
     return 0 if ok == len(outcomes) else 1
 
 
+def _make_tracer(args):
+    """``True`` (unbounded in-memory recorder) or a StreamingTracer."""
+    if args.stream is None:
+        if args.sample_rate != 1.0 or args.sample_head is not None:
+            raise ValueError("--sample-rate/--sample-head require --stream FILE")
+        return True
+    from .obs.streaming import SpanSampler, StreamingTracer
+
+    sampler = SpanSampler(
+        rate=args.sample_rate, head=args.sample_head, seed=args.sample_seed
+    )
+    return StreamingTracer(args.stream, window=args.stream_window, sampler=sampler)
+
+
+def _stream_summary(tracer) -> str:
+    s = tracer.stats()
+    return (
+        f"span stream {s['path']}: {s['spilled']} spilled,"
+        f" peak {s['peak_buffered']} buffered (window {s['window']}),"
+        f" {s['sampled_out']} sampled out"
+    )
+
+
 def _cmd_trace(args) -> int:
     from .obs import (
         lifecycle_report,
@@ -433,8 +561,11 @@ def _cmd_trace(args) -> int:
     from .util.errors import BenchError
 
     try:
-        session = run_traced(args.target, _load_platform(args) if args.platform else None)
-    except BenchError as exc:
+        tracer = _make_tracer(args)
+        session = run_traced(
+            args.target, _load_platform(args) if args.platform else None, trace=tracer
+        )
+    except (BenchError, ValueError, OSError) as exc:
         print(exc, file=sys.stderr)
         return 2
     try:
@@ -444,6 +575,10 @@ def _cmd_trace(args) -> int:
         print(f"cannot write trace: {exc}", file=sys.stderr)
         return 1
     sim = session.sim
+    stream_stats = None
+    if tracer is not True:
+        stream_stats = tracer.stats()
+        tracer.close()
     if args.json:
         import json
 
@@ -477,11 +612,15 @@ def _cmd_trace(args) -> int:
         if args.jsonl:
             payload["trace"]["jsonl_path"] = args.jsonl
             payload["trace"]["jsonl_records"] = n_lines
+        if stream_stats is not None:
+            payload["trace"]["stream"] = stream_stats
         print(json.dumps(payload, indent=1, sort_keys=True))
         return 0
     print(f"{args.output}: {n_events} span events (open in https://ui.perfetto.dev)")
     if args.jsonl:
         print(f"{args.jsonl}: {n_lines} JSONL span records")
+    if tracer is not True:
+        print(_stream_summary(tracer))
     print(
         f"kernel: {sim.events_executed} events executed,"
         f" {sim.heap_compactions} heap compactions,"
@@ -520,10 +659,15 @@ def _cmd_analyze(args) -> int:
     from .util.errors import BenchError
 
     try:
-        session = run_traced(args.target, _load_platform(args) if args.platform else None)
-    except BenchError as exc:
+        tracer = _make_tracer(args)
+        session = run_traced(
+            args.target, _load_platform(args) if args.platform else None, trace=tracer
+        )
+    except (BenchError, ValueError, OSError) as exc:
         print(exc, file=sys.stderr)
         return 2
+    if tracer is not True:
+        tracer.close()
     report = analyze_session(session, node_id=args.node, bins=args.bins)
     violations = report.verify()
     if args.json:
@@ -546,6 +690,8 @@ def _cmd_analyze(args) -> int:
             f"causal graph: {len(g.events)} events, {len(g.edges)} edges,"
             f" {len(g.requests)} requests"
         )
+        if tracer is not True:
+            print(_stream_summary(tracer))
     if args.output:
         doc = to_chrome_trace(session)
         doc["traceEvents"].extend(critical_path_trace_events(report.attributions))
@@ -568,12 +714,19 @@ def _cmd_bench(args) -> int:
     from .util.errors import BenchError
 
     if args.bench_command == "run":
+        from .obs.log import get_logger
         from .obs.perf import BenchRecorder, run_engine_suite, run_figure_suite
 
+        log = get_logger()
         run_figures = args.figures is not None
         run_engine = args.engine or not run_figures
         suites = [s for s, on in (("engine", run_engine), ("figures", run_figures)) if on]
-        recorder = BenchRecorder(args.name or "+".join(suites), spec=_load_platform(args))
+        recorder = BenchRecorder(
+            args.name or "+".join(suites),
+            spec=_load_platform(args),
+            run_id=log.bound.get("run_id"),
+        )
+        log.info("run.start", command="bench run", record=recorder.name, suites=suites)
         server = None
         engine_publish = figure_publish = None
         if args.serve is not None:
@@ -619,7 +772,16 @@ def _cmd_bench(args) -> int:
         finally:
             if server is not None:
                 server.stop()
+        log.info(
+            "run.done", command="bench run", record=recorder.name,
+            points=len(recorder), wall_clocks=len(recorder._wall), path=path,
+        )
         print(f"{path}: {len(recorder)} points, {len(recorder._wall)} wall-clock benches")
+        if args.ledger:
+            rid = _ledger_ingest_run(
+                args.ledger, record_path=path, log_file=args.log_file
+            )
+            print(f"ledger {args.ledger}: run {rid}")
         return 0
 
     if args.bench_command == "compare":
@@ -769,10 +931,131 @@ def _cmd_chaos(args) -> int:
         if server is not None:
             server.stop()
     print(report.summary())
+    plan_paths: list[str] = []
     if not report.ok and args.save_failing:
-        for path in save_failing_plans(report, args.save_failing):
+        plan_paths = save_failing_plans(report, args.save_failing)
+        for path in plan_paths:
             print(f"replay artifact: {path}")
+    if args.ledger:
+        rid = _ledger_ingest_run(
+            args.ledger, report=report, plan_paths=plan_paths, log_file=args.log_file
+        )
+        print(f"ledger {args.ledger}: run {rid}")
     return 0 if report.ok else 1
+
+
+def _ledger_ingest_run(
+    db: str,
+    record_path: Optional[str] = None,
+    report=None,
+    plan_paths: Sequence[str] = (),
+    log_file: Optional[str] = None,
+) -> str:
+    """Ingest one CLI invocation's artifacts under its bound run_id."""
+    from .obs.ledger import Ledger
+    from .obs.log import get_logger
+
+    rid = get_logger().bound.get("run_id")
+    with Ledger(db) as ledger:
+        if record_path is not None:
+            rid = ledger.ingest_bench_record(record_path, run_id=rid)
+            ledger.add_artifact(rid, "bench_record", record_path)
+        if report is not None:
+            rid = ledger.ingest_chaos_report(report, run_id=rid)
+        for path in plan_paths:
+            ledger.add_artifact(rid, "fault_plan", path)
+        if log_file is not None:
+            ledger.ingest_events(log_file, run_id=rid)
+            ledger.add_artifact(rid, "event_log", log_file)
+    return rid
+
+
+def _resolve_sha(ref: str) -> str:
+    """Pass hex SHA prefixes through; resolve symbolic refs via git."""
+    import re
+    import subprocess
+
+    if re.fullmatch(r"[0-9a-f]{4,40}", ref):
+        return ref
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", ref], capture_output=True, text=True, check=True
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return ref
+
+
+def _cmd_ledger(args) -> int:
+    import json
+
+    from .obs.ledger import DEFAULT_LEDGER_PATH, Ledger
+    from .util.errors import BenchError
+
+    db = args.db or DEFAULT_LEDGER_PATH
+    try:
+        ledger = Ledger(db)
+    except (BenchError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        if args.ledger_command == "ingest":
+            for path in args.paths:
+                rids = ledger.ingest_path(path, run_id=args.run_id)
+                print(f"{path}: run {', '.join(rids)}")
+            return 0
+
+        if args.ledger_command == "query":
+            sha = _resolve_sha(args.sha) if args.sha else None
+            rows = ledger.runs(
+                sha=sha, run_id=args.run_id, kind=args.kind, limit=args.limit
+            )
+            if args.json:
+                print(json.dumps(rows, indent=1, sort_keys=True, default=str))
+                return 0 if rows else 1
+            if not rows:
+                print(f"{db}: no matching runs")
+                return 1
+            for r in rows:
+                sha8 = (r["git_sha"] or "--------")[:8]
+                if r["git_dirty"]:
+                    sha8 += "*"
+                cells = [f"{r['run_id']}", f"{r['kind']:<12}", f"{sha8:<9}"]
+                if r["n_points"]:
+                    cells.append(f"points={r['n_points']}")
+                if r["n_wall_clocks"]:
+                    cells.append(f"wall={r['n_wall_clocks']}")
+                if r["n_chaos_cases"]:
+                    verdict = (
+                        f" (FAIL {r['n_chaos_failures']})"
+                        if r["n_chaos_failures"]
+                        else " ok"
+                    )
+                    cells.append(f"cases={r['n_chaos_cases']}{verdict}")
+                if r["n_events"]:
+                    cells.append(f"events={r['n_events']}")
+                if r["n_artifacts"]:
+                    cells.append(f"artifacts={r['n_artifacts']}")
+                if r["name"]:
+                    cells.append(str(r["name"]))
+                print("  ".join(cells))
+            return 0
+
+        if args.ledger_command == "show":
+            print(json.dumps(ledger.show(args.run_id), indent=1, sort_keys=True,
+                             default=str))
+            return 0
+
+        if args.ledger_command == "gc":
+            doomed = ledger.gc(args.keep)
+            print(f"{db}: dropped {len(doomed)} runs, kept newest {args.keep}")
+            return 0
+    except BenchError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    finally:
+        ledger.close()
+    raise AssertionError(f"unhandled ledger command {args.ledger_command!r}")
 
 
 _COMMANDS = {
@@ -788,12 +1071,38 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "metrics": _cmd_metrics,
+    "ledger": _cmd_ledger,
     "list": _cmd_list,
 }
 
 
+def _configure_logging(args) -> None:
+    """Install the global structured logger for this invocation.
+
+    ``bench run`` and ``chaos`` always get a ``run_id`` bound (explicit
+    flag, then ``$REPRO_RUN_ID``, then a fresh one) so every event and
+    ledger row they produce shares one correlation id; other commands
+    bind one only when the environment provides it.
+    """
+    from .obs.log import configure, new_run_id
+
+    run_id = getattr(args, "run_id", None) or os.environ.get("REPRO_RUN_ID")
+    produces_run = args.command == "chaos" or (
+        args.command == "bench" and getattr(args, "bench_command", None) == "run"
+    )
+    if run_id is None and produces_run:
+        run_id = new_run_id()
+    configure(
+        level=args.log_level,
+        json_mode=args.log_json,
+        path=args.log_file,
+        **({"run_id": run_id} if run_id else {}),
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     return _COMMANDS[args.command](args)
 
 

@@ -216,6 +216,18 @@ class NodeEngine:
         accounted for these segments at the original commit.
         """
         self.fault_retry_counter(rail_index).add()
+        from ..obs.log import get_logger
+
+        log = get_logger()
+        if log.enabled_for("debug"):
+            log.debug(
+                "failover.retry",
+                node=self.node_id,
+                rail=self.drivers[rail_index].name,
+                dst=pw.dst_node,
+                entries=len(pw.entries),
+                t_us=self.sim.now,
+            )
         if self.spans.enabled:
             # causal retry edge: detected loss → re-queue of the entries
             self.spans.instant(

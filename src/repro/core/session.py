@@ -46,7 +46,7 @@ class Session:
         strategy_opts: Optional[Mapping[str, Any]] = None,
         samples: Optional[SampleTable] = None,
         sim: Optional[Simulator] = None,
-        trace: bool = False,
+        trace: Any = False,
         faults: Any = None,
     ):
         if not isinstance(spec, PlatformSpec):
@@ -55,11 +55,18 @@ class Session:
         self.sim = sim if sim is not None else Simulator()
         self.platform = Platform(self.sim, spec)
         self.samples = samples
+        #: span-based timeline (pump phases, per-rail PIO/DMA, rendezvous).
+        #: ``trace`` is either a bool (in-memory recorder, PR 1 behaviour)
+        #: or a ready :class:`SpanRecorder` — e.g. a bounded-memory
+        #: :class:`~repro.obs.streaming.StreamingTracer` — which the
+        #: session adopts as-is (engines cache it at construction).
+        if isinstance(trace, SpanRecorder):
+            self.spans = trace
+        else:
+            self.spans = SpanRecorder(enabled=bool(trace))
         #: legacy flat event log — a shared no-op instance when tracing is
         #: off, so hot paths pay nothing (not even a dead list append).
-        self.tracer = Tracer(True) if trace else NULL_TRACER
-        #: span-based timeline (pump phases, per-rail PIO/DMA, rendezvous).
-        self.spans = SpanRecorder(enabled=trace)
+        self.tracer = Tracer(True) if self.spans.enabled else NULL_TRACER
         #: always-on counters/gauges/histograms (schema: repro.obs.metrics).
         self.metrics = MetricsRegistry()
         from .strategies.base import Strategy

@@ -42,6 +42,7 @@ from ..core.session import Session
 from ..core.strategies.checker import CheckedStrategy
 from ..core.strategies.registry import available_strategies
 from ..hardware.presets import paper_platform
+from ..obs.log import get_logger
 from ..obs.runner import _mp_context, resolve_jobs
 from ..sim.process import Timeout
 from ..util.errors import ConfigError
@@ -119,6 +120,8 @@ def run_case(case: ChaosCase, plan: Optional[FaultPlan] = None) -> dict[str, Any
     ``plan`` (the fault plan as a dict, for replay artifacts) and
     ``digest`` (see module docstring).
     """
+    log = get_logger(case_id=f"{case.strategy}/seed{case.seed}")
+    log.debug("chaos.case.start", strategy=case.strategy, seed=case.seed)
     spec = paper_platform()
     if plan is None:
         plan = random_plan(case.seed, spec, horizon_us=case.horizon_us)
@@ -217,6 +220,16 @@ def run_case(case: ChaosCase, plan: Optional[FaultPlan] = None) -> dict[str, Any
         ],
         "metrics": snap,
     }
+    if violations:
+        log.warn(
+            "chaos.case.fail",
+            strategy=case.strategy,
+            seed=case.seed,
+            violations=len(violations),
+            first=violations[0],
+        )
+    else:
+        log.debug("chaos.case.pass", strategy=case.strategy, seed=case.seed)
     return {
         "strategy": case.strategy,
         "seed": case.seed,
@@ -258,6 +271,8 @@ class ChaosReport:
     """All case results of one chaos sweep, in task order."""
 
     cases: list[dict[str, Any]]
+    #: event-log correlation id of the producing sweep (ledger join key).
+    run_id: Optional[str] = None
 
     @property
     def failures(self) -> list[dict[str, Any]]:
@@ -266,6 +281,18 @@ class ChaosReport:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (``repro chaos --save-report`` / ledger ingest)."""
+        from ..obs.perf import git_revision
+
+        sha, dirty = git_revision(os.path.dirname(os.path.abspath(__file__)))
+        return {
+            "run_id": self.run_id,
+            "git_sha": sha,
+            "git_dirty": dirty,
+            "cases": self.cases,
+        }
 
     def summary(self) -> str:
         lines = [
@@ -299,6 +326,7 @@ def run_chaos(
     lands, in task order (``imap``), so the live endpoint can publish
     incremental snapshots; the report is identical with or without it.
     """
+    log = get_logger()
     seed_list = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
     if not seed_list:
         raise ConfigError("no seeds to run")
@@ -308,6 +336,7 @@ def run_chaos(
         for seed in seed_list
     ]
     n_procs = min(resolve_jobs(jobs), len(tasks))
+    log.info("chaos.start", cases=len(tasks), jobs=n_procs)
     rows: list[dict] = []
     if n_procs <= 1:
         for task in tasks:
@@ -322,7 +351,9 @@ def run_chaos(
                 rows.append(row)
                 if on_case is not None:
                     on_case(task, row)
-    return ChaosReport(rows)
+    failed = sum(1 for r in rows if not r["ok"])
+    log.info("chaos.done", cases=len(rows), failed=failed)
+    return ChaosReport(rows, run_id=log.bound.get("run_id"))
 
 
 def save_failing_plans(report: ChaosReport, directory: str) -> list[str]:

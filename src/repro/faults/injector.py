@@ -313,6 +313,11 @@ class FaultInjector:
             self.effective_spec(), sizes=RESAMPLE_SIZES, reps=1, warmup=1
         )
         self._m_resamples.add()
+        from ..obs.log import get_logger
+
+        log = get_logger()
+        if log.enabled_for("debug"):
+            log.debug("fault.resample", t_us=self.sim.now)
 
     # ------------------------------------------------------------------ #
     # eager (PIO) path
@@ -406,6 +411,11 @@ class FaultInjector:
                 0, TRACK_FAULTS, f"{kind}:{rail.name}", "fault", self.sim.now,
                 {"rail": rail.name, "kind": kind},
             )
+        from ..obs.log import get_logger
+
+        log = get_logger()
+        if log.enabled_for("debug"):
+            log.debug("fault.inject", kind=kind, rail=rail.name, t_us=self.sim.now)
 
     def _loss_span(
         self, driver: "Driver", rail: RailFaultState, pw: "PacketWrapper", why: str
@@ -422,6 +432,14 @@ class FaultInjector:
                     "dst": pw.dst_node,
                     **pw.identity_args(),
                 },
+            )
+        from ..obs.log import get_logger
+
+        log = get_logger()
+        if log.enabled_for("debug"):
+            log.debug(
+                "fault.loss", rail=rail.name, why=why, node=driver.node_id,
+                dst=pw.dst_node, t_us=self.sim.now,
             )
 
     def health_report(self) -> dict[str, str]:

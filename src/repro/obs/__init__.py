@@ -24,7 +24,16 @@ The three pieces compose (see README "Observability"):
   OpenMetrics exposition (plus ``critpath.*``/``live.*`` gauges) while a
   sweep is in flight;
 * :mod:`repro.obs.history` — cross-run trend and step-change analytics
-  over accumulated ``BENCH_*.json`` records, keyed by git SHA.
+  over accumulated ``BENCH_*.json`` records, keyed by git SHA;
+* :mod:`repro.obs.streaming` — bounded-memory :class:`StreamingTracer`
+  that spills closed spans to a JSONL stream on disk, with deterministic
+  seeded span sampling (:class:`SpanSampler`);
+* :mod:`repro.obs.log` — schema-versioned structured event log
+  (JSONL + human text) with ``run_id``/``point_id``/``case_id``
+  correlation fields threaded through the runners;
+* :mod:`repro.obs.ledger` — queryable SQLite run ledger ingesting bench
+  records, chaos reports, fault plans, and event logs, keyed by
+  ``run_id`` + git SHA (``repro ledger`` CLI).
 """
 
 from .compare import CompareReport, Delta, compare_records, delta_table
@@ -77,8 +86,23 @@ from .perf import (
 )
 from .report import RequestLifecycle, lifecycle_report, lifecycle_table, poll_tax_by_rail
 from .runner import PointTask, resolve_jobs, run_point, run_sweep_parallel
+from .ledger import DEFAULT_LEDGER_PATH, LEDGER_SCHEMA_VERSION, Ledger
+from .log import (
+    EVENT_SCHEMA_VERSION,
+    EventLogger,
+    configure,
+    get_logger,
+    new_run_id,
+    parse_events,
+)
 from .server import OPENMETRICS_CONTENT_TYPE, LiveMetricsServer, MetricsPublisher
 from .spans import NULL_SPAN, Span, SpanError, SpanRecorder
+from .streaming import (
+    STREAM_SCHEMA_VERSION,
+    SpanSampler,
+    StreamingTracer,
+    load_span_stream,
+)
 
 __all__ = [
     "BenchRecord",
@@ -139,4 +163,17 @@ __all__ = [
     "history_table",
     "load_history",
     "step_table",
+    "StreamingTracer",
+    "SpanSampler",
+    "load_span_stream",
+    "STREAM_SCHEMA_VERSION",
+    "EventLogger",
+    "configure",
+    "get_logger",
+    "new_run_id",
+    "parse_events",
+    "EVENT_SCHEMA_VERSION",
+    "Ledger",
+    "DEFAULT_LEDGER_PATH",
+    "LEDGER_SCHEMA_VERSION",
 ]

@@ -1,0 +1,549 @@
+"""Run ledger: one queryable SQLite record of everything that ran.
+
+Bench runs scatter ``BENCH_*.json`` files, chaos sweeps scatter failing
+``FaultPlan`` artifacts, and the event log is an append-only JSONL
+stream — three artifact families with no join key.  The ledger ingests
+all of them into linked tables keyed by ``run_id`` (the event-log
+correlation id) and git SHA, so one query answers "what did commit X
+run, with what results, and where are the artifacts":
+
+* ``runs`` — one row per ingested run: kind (``bench``/``chaos``/
+  ``events``), name, git SHA + dirty flag, platform-spec hash,
+  provenance strings;
+* ``points`` — every figure/engine point of a bench record (simulated
+  quantities as JSON, identity columns split out for SQL filtering);
+* ``wall_clocks`` — the noisy wall-clock medians/IQRs, report-only as
+  ever;
+* ``chaos_cases`` — per (strategy, seed) verdicts, violations and the
+  replayable fault plan JSON;
+* ``events`` — the structured event log (:mod:`repro.obs.log`), one row
+  per line, correlation ids split out;
+* ``artifacts`` — paths of loose files tied to a run (failing plans,
+  trace streams, Chrome traces).
+
+``repro ledger ingest|query|show|gc`` is the CLI; ``repro bench run
+--ledger`` and ``repro chaos --ledger`` ingest inline so CI needs no
+extra step.  Everything is stdlib ``sqlite3`` — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from ..util.errors import BenchError
+from .log import EVENT_SCHEMA_VERSION, new_run_id
+
+__all__ = ["LEDGER_SCHEMA_VERSION", "Ledger", "DEFAULT_LEDGER_PATH"]
+
+#: bump when the table layout changes incompatibly.
+LEDGER_SCHEMA_VERSION = 1
+
+#: where the CLI looks when ``--db`` is not given.
+DEFAULT_LEDGER_PATH = os.path.join("bench_results", "ledger.db")
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS ledger_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    name         TEXT,
+    git_sha      TEXT,
+    git_dirty    INTEGER NOT NULL DEFAULT 0,
+    spec_sha256  TEXT,
+    created_unix REAL,
+    ingested_unix REAL NOT NULL,
+    python       TEXT,
+    platform     TEXT,
+    meta_json    TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS runs_git_sha ON runs (git_sha);
+CREATE TABLE IF NOT EXISTS points (
+    run_id    TEXT NOT NULL,
+    point_id  INTEGER NOT NULL,
+    kind      TEXT,
+    bench     TEXT,
+    curve     TEXT,
+    strategy  TEXT,
+    size      INTEGER,
+    segments  INTEGER,
+    values_json TEXT NOT NULL,
+    PRIMARY KEY (run_id, point_id)
+);
+CREATE TABLE IF NOT EXISTS wall_clocks (
+    run_id  TEXT NOT NULL,
+    bench   TEXT NOT NULL,
+    median  REAL,
+    p25     REAL,
+    p75     REAL,
+    reps    INTEGER,
+    all_json TEXT,
+    PRIMARY KEY (run_id, bench)
+);
+CREATE TABLE IF NOT EXISTS chaos_cases (
+    run_id    TEXT NOT NULL,
+    case_id   INTEGER NOT NULL,
+    strategy  TEXT,
+    seed      INTEGER,
+    ok        INTEGER NOT NULL,
+    violations_json TEXT NOT NULL DEFAULT '[]',
+    plan_json TEXT,
+    final_time_us REAL,
+    events_executed INTEGER,
+    PRIMARY KEY (run_id, case_id)
+);
+CREATE TABLE IF NOT EXISTS events (
+    run_id   TEXT NOT NULL,
+    seq      INTEGER NOT NULL,
+    ts       REAL,
+    level    TEXT,
+    event    TEXT,
+    point_id TEXT,
+    case_id  TEXT,
+    worker_id TEXT,
+    fields_json TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (run_id, seq)
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    run_id TEXT NOT NULL,
+    kind   TEXT NOT NULL,
+    path   TEXT NOT NULL,
+    PRIMARY KEY (run_id, kind, path)
+);
+"""
+
+#: event fields split into their own columns (the rest goes to JSON).
+_EVENT_COLUMNS = ("v", "ts", "level", "event", "run_id", "point_id", "case_id", "pid")
+
+
+class Ledger:
+    """A SQLite-backed store of runs, points, cases, events, artifacts."""
+
+    def __init__(self, path: str = DEFAULT_LEDGER_PATH) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._db = sqlite3.connect(path)
+        self._db.row_factory = sqlite3.Row
+        self._db.executescript(_TABLES)
+        row = self._db.execute(
+            "SELECT value FROM ledger_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._db.execute(
+                "INSERT INTO ledger_meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(LEDGER_SCHEMA_VERSION)),
+            )
+            self._db.commit()
+        elif int(row["value"]) != LEDGER_SCHEMA_VERSION:
+            raise BenchError(
+                f"{path}: ledger schema {row['value']} unsupported"
+                f" (want {LEDGER_SCHEMA_VERSION})"
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "Ledger":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- ingest --------------------------------------------------------------
+    def _upsert_run(
+        self,
+        run_id: str,
+        kind: str,
+        name: Optional[str] = None,
+        git_sha: Optional[str] = None,
+        git_dirty: bool = False,
+        spec_sha256: Optional[str] = None,
+        created_unix: Optional[float] = None,
+        python: Optional[str] = None,
+        platform: Optional[str] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Insert the run row, or enrich the existing one in place.
+
+        A run ingested first from its event log and later from its bench
+        record must end up as *one* row, so non-null new values win and
+        kinds merge (``bench+chaos`` when one invocation did both).
+        """
+        row = self._db.execute(
+            "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            self._db.execute(
+                "INSERT INTO runs (run_id, kind, name, git_sha, git_dirty,"
+                " spec_sha256, created_unix, ingested_unix, python, platform,"
+                " meta_json) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id, kind, name, git_sha, int(git_dirty), spec_sha256,
+                    created_unix, time.time(), python, platform,
+                    json.dumps(dict(meta or {}), sort_keys=True),
+                ),
+            )
+        else:
+            kinds = set(row["kind"].split("+")) | {kind}
+            merged_meta = json.loads(row["meta_json"])
+            merged_meta.update(meta or {})
+            self._db.execute(
+                "UPDATE runs SET kind = ?, name = COALESCE(?, name),"
+                " git_sha = COALESCE(?, git_sha),"
+                " git_dirty = MAX(git_dirty, ?),"
+                " spec_sha256 = COALESCE(?, spec_sha256),"
+                " created_unix = COALESCE(?, created_unix),"
+                " python = COALESCE(?, python),"
+                " platform = COALESCE(?, platform),"
+                " meta_json = ? WHERE run_id = ?",
+                (
+                    "+".join(sorted(kinds)), name, git_sha, int(git_dirty),
+                    spec_sha256, created_unix, python, platform,
+                    json.dumps(merged_meta, sort_keys=True), run_id,
+                ),
+            )
+        self._db.commit()
+
+    def ingest_bench_record(self, record, run_id: Optional[str] = None) -> str:
+        """Ingest a :class:`~repro.obs.perf.BenchRecord` (or its path)."""
+        from .perf import SIM_FIELDS, load_record
+
+        if isinstance(record, str):
+            record = load_record(record)
+        run_id = run_id or getattr(record, "run_id", None) or new_run_id()
+        self._upsert_run(
+            run_id,
+            "bench",
+            name=record.name,
+            git_sha=record.git_sha,
+            git_dirty=record.git_dirty,
+            spec_sha256=record.spec_sha256,
+            created_unix=record.created_unix,
+            python=record.python,
+            platform=record.platform_info,
+        )
+        self._db.execute("DELETE FROM points WHERE run_id = ?", (run_id,))
+        self._db.execute("DELETE FROM wall_clocks WHERE run_id = ?", (run_id,))
+        for i, point in enumerate(record.points):
+            values = {
+                k: v for k, v in point.items() if k in SIM_FIELDS
+            }
+            self._db.execute(
+                "INSERT INTO points (run_id, point_id, kind, bench, curve,"
+                " strategy, size, segments, values_json)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id, i, point.get("kind"), point.get("bench"),
+                    point.get("curve"), point.get("strategy"),
+                    point.get("size"), point.get("segments"),
+                    json.dumps(values, sort_keys=True),
+                ),
+            )
+        for bench, wall in record.wall_clock_s.items():
+            self._db.execute(
+                "INSERT INTO wall_clocks (run_id, bench, median, p25, p75,"
+                " reps, all_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id, bench, wall.get("median"), wall.get("p25"),
+                    wall.get("p75"), wall.get("reps"),
+                    json.dumps(wall.get("all", [])),
+                ),
+            )
+        self._db.commit()
+        return run_id
+
+    def ingest_chaos_report(
+        self,
+        report_or_cases: Union[Any, Sequence[Mapping[str, Any]]],
+        run_id: Optional[str] = None,
+        git_sha: Optional[str] = None,
+        git_dirty: bool = False,
+        name: str = "chaos",
+    ) -> str:
+        """Ingest a :class:`~repro.faults.chaos.ChaosReport` (or raw case
+        dicts, or a saved report JSON path)."""
+        if isinstance(report_or_cases, str):
+            with open(report_or_cases) as fh:
+                doc = json.load(fh)
+            cases = doc.get("cases", [])
+            run_id = run_id or doc.get("run_id")
+            git_sha = git_sha or doc.get("git_sha")
+            git_dirty = git_dirty or bool(doc.get("git_dirty", False))
+        else:
+            cases = getattr(report_or_cases, "cases", report_or_cases)
+            run_id = run_id or getattr(report_or_cases, "run_id", None)
+        if git_sha is None:
+            from .perf import git_revision
+
+            git_sha, git_dirty = git_revision(os.path.dirname(os.path.abspath(__file__)))
+        run_id = run_id or new_run_id()
+        self._upsert_run(
+            run_id, "chaos", name=name, git_sha=git_sha, git_dirty=git_dirty,
+            created_unix=time.time(),
+            meta={"cases": len(cases)},
+        )
+        self._db.execute("DELETE FROM chaos_cases WHERE run_id = ?", (run_id,))
+        for i, case in enumerate(cases):
+            digest = case.get("digest", {})
+            self._db.execute(
+                "INSERT INTO chaos_cases (run_id, case_id, strategy, seed,"
+                " ok, violations_json, plan_json, final_time_us,"
+                " events_executed) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id, i, case.get("strategy"), case.get("seed"),
+                    int(bool(case.get("ok"))),
+                    json.dumps(case.get("violations", [])),
+                    json.dumps(case.get("plan")) if case.get("plan") else None,
+                    digest.get("final_time_us"), digest.get("events_executed"),
+                ),
+            )
+        self._db.commit()
+        return run_id
+
+    def ingest_events(
+        self,
+        source: Union[str, Iterable[Mapping[str, Any]]],
+        run_id: Optional[str] = None,
+    ) -> list[str]:
+        """Ingest an event-log JSONL file (or parsed records).
+
+        Events carry their own ``run_id``; ``run_id=`` overrides for
+        records that lack one.  Returns the run ids touched.
+        """
+        from .log import parse_events
+
+        records = parse_events(source) if isinstance(source, str) else list(source)
+        by_run: dict[str, list[Mapping[str, Any]]] = {}
+        for record in records:
+            rid = record.get("run_id") or run_id
+            if rid is None:
+                raise BenchError(
+                    "event without run_id and no fallback given;"
+                    " pass run_id= to ingest_events"
+                )
+            by_run.setdefault(rid, []).append(record)
+        for rid, events in by_run.items():
+            self._upsert_run(rid, "events", created_unix=events[0].get("ts"))
+            (max_seq,) = self._db.execute(
+                "SELECT COALESCE(MAX(seq), -1) FROM events WHERE run_id = ?", (rid,)
+            ).fetchone()
+            for seq, record in enumerate(events, start=max_seq + 1):
+                fields = {
+                    k: v for k, v in record.items() if k not in _EVENT_COLUMNS
+                }
+                self._db.execute(
+                    "INSERT INTO events (run_id, seq, ts, level, event,"
+                    " point_id, case_id, worker_id, fields_json)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        rid, seq, record.get("ts"), record.get("level"),
+                        record.get("event"),
+                        _opt_str(record.get("point_id")),
+                        _opt_str(record.get("case_id")),
+                        _opt_str(record.get("pid")),
+                        json.dumps(fields, sort_keys=True, default=str),
+                    ),
+                )
+        self._db.commit()
+        return sorted(by_run)
+
+    def add_artifact(self, run_id: str, kind: str, path: str) -> None:
+        """Register a loose file (fault plan, trace stream, …) of a run."""
+        if not self._run_exists(run_id):
+            self._upsert_run(run_id, "events")
+        self._db.execute(
+            "INSERT OR REPLACE INTO artifacts (run_id, kind, path) VALUES (?, ?, ?)",
+            (run_id, kind, path),
+        )
+        self._db.commit()
+
+    def _run_exists(self, run_id: str) -> bool:
+        return (
+            self._db.execute(
+                "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            is not None
+        )
+
+    def ingest_path(self, path: str, run_id: Optional[str] = None) -> list[str]:
+        """Auto-detect and ingest one artifact file.
+
+        ``BENCH_*.json`` bench records, chaos report JSON, event-log
+        JSONL and fault-plan JSON are recognized by content, not name.
+        """
+        try:
+            with open(path) as fh:
+                head = fh.read(4096)
+        except OSError as exc:
+            raise BenchError(f"cannot read {path}: {exc}") from exc
+        stripped = head.lstrip()
+        if stripped.startswith("{"):
+            try:
+                doc = json.loads(open(path).read())
+            except json.JSONDecodeError:
+                doc = None
+            if isinstance(doc, dict):
+                if doc.get("schema", "").startswith("repro.bench_record"):
+                    return [self.ingest_bench_record(path, run_id=run_id)]
+                if "cases" in doc:
+                    return [self.ingest_chaos_report(path, run_id=run_id)]
+                if "events" in doc and "schema" in doc:  # fault plan
+                    rid = run_id or new_run_id()
+                    self._upsert_run(rid, "events")
+                    self.add_artifact(rid, "fault_plan", path)
+                    return [rid]
+        if f'"{EVENT_SCHEMA_VERSION}"' in head.split("\n", 1)[0]:
+            return self.ingest_events(path, run_id=run_id)
+        raise BenchError(
+            f"{path}: not a bench record, chaos report, fault plan or event log"
+        )
+
+    # -- queries -------------------------------------------------------------
+    def runs(
+        self,
+        sha: Optional[str] = None,
+        run_id: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> list[dict[str, Any]]:
+        """Run rows (newest first) with per-table child counts attached.
+
+        ``sha`` matches any git SHA prefix, so short SHAs work.
+        """
+        where, params = [], []
+        if sha:
+            where.append("git_sha LIKE ?")
+            params.append(sha + "%")
+        if run_id:
+            where.append("run_id = ?")
+            params.append(run_id)
+        if kind:
+            where.append("kind LIKE ?")
+            params.append(f"%{kind}%")
+        sql = "SELECT * FROM runs"
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        sql += " ORDER BY COALESCE(created_unix, ingested_unix) DESC, run_id DESC"
+        if limit:
+            sql += f" LIMIT {int(limit)}"
+        out = []
+        for row in self._db.execute(sql, params).fetchall():
+            d = dict(row)
+            d["meta"] = json.loads(d.pop("meta_json"))
+            d["git_dirty"] = bool(d["git_dirty"])
+            rid = d["run_id"]
+            for table, key in (
+                ("points", "n_points"),
+                ("wall_clocks", "n_wall_clocks"),
+                ("chaos_cases", "n_chaos_cases"),
+                ("events", "n_events"),
+                ("artifacts", "n_artifacts"),
+            ):
+                (d[key],) = self._db.execute(
+                    f"SELECT COUNT(*) FROM {table} WHERE run_id = ?", (rid,)
+                ).fetchone()
+            (d["n_chaos_failures"],) = self._db.execute(
+                "SELECT COUNT(*) FROM chaos_cases WHERE run_id = ? AND ok = 0",
+                (rid,),
+            ).fetchone()
+            out.append(d)
+        return out
+
+    def show(self, run_id: str) -> dict[str, Any]:
+        """Everything the ledger holds about one run."""
+        runs = self.runs(run_id=run_id)
+        if not runs:
+            raise BenchError(f"no run {run_id!r} in {self.path}")
+        d = runs[0]
+        d["points"] = [
+            {**dict(r), "values": json.loads(r["values_json"])}
+            for r in self._db.execute(
+                "SELECT * FROM points WHERE run_id = ? ORDER BY point_id", (run_id,)
+            ).fetchall()
+        ]
+        for p in d["points"]:
+            p.pop("values_json")
+        d["wall_clocks"] = {
+            r["bench"]: {
+                "median": r["median"], "p25": r["p25"], "p75": r["p75"],
+                "reps": r["reps"],
+            }
+            for r in self._db.execute(
+                "SELECT * FROM wall_clocks WHERE run_id = ?", (run_id,)
+            ).fetchall()
+        }
+        d["chaos_cases"] = [
+            {
+                "strategy": r["strategy"], "seed": r["seed"], "ok": bool(r["ok"]),
+                "violations": json.loads(r["violations_json"]),
+                "final_time_us": r["final_time_us"],
+                "events_executed": r["events_executed"],
+            }
+            for r in self._db.execute(
+                "SELECT * FROM chaos_cases WHERE run_id = ? ORDER BY case_id",
+                (run_id,),
+            ).fetchall()
+        ]
+        d["events"] = [
+            {
+                "seq": r["seq"], "ts": r["ts"], "level": r["level"],
+                "event": r["event"], "point_id": r["point_id"],
+                "case_id": r["case_id"], "worker_id": r["worker_id"],
+                "fields": json.loads(r["fields_json"]),
+            }
+            for r in self._db.execute(
+                "SELECT * FROM events WHERE run_id = ? ORDER BY seq", (run_id,)
+            ).fetchall()
+        ]
+        d["artifacts"] = [
+            {"kind": r["kind"], "path": r["path"]}
+            for r in self._db.execute(
+                "SELECT * FROM artifacts WHERE run_id = ? ORDER BY kind, path",
+                (run_id,),
+            ).fetchall()
+        ]
+        return d
+
+    def failing_plan(self, run_id: str, strategy: str, seed: int) -> Optional[dict]:
+        """The replayable fault plan of one chaos case, if stored."""
+        row = self._db.execute(
+            "SELECT plan_json FROM chaos_cases WHERE run_id = ? AND"
+            " strategy = ? AND seed = ?",
+            (run_id, strategy, seed),
+        ).fetchone()
+        if row is None or row["plan_json"] is None:
+            return None
+        return json.loads(row["plan_json"])
+
+    # -- maintenance ---------------------------------------------------------
+    def gc(self, keep: int) -> list[str]:
+        """Drop all but the newest ``keep`` runs (children included)."""
+        if keep < 0:
+            raise BenchError(f"keep must be >= 0, got {keep}")
+        doomed = [
+            r["run_id"]
+            for r in self._db.execute(
+                "SELECT run_id FROM runs ORDER BY"
+                " COALESCE(created_unix, ingested_unix) DESC, run_id DESC"
+            ).fetchall()[keep:]
+        ]
+        for rid in doomed:
+            for table in ("points", "wall_clocks", "chaos_cases", "events",
+                          "artifacts", "runs"):
+                self._db.execute(f"DELETE FROM {table} WHERE run_id = ?", (rid,))
+        self._db.commit()
+        if doomed:
+            self._db.execute("VACUUM")
+        return doomed
+
+
+def _opt_str(value: Any) -> Optional[str]:
+    return None if value is None else str(value)

@@ -163,9 +163,12 @@ class BenchRecord:
     points: list[dict[str, Any]] = field(default_factory=list)
     wall_clock_s: dict[str, dict[str, Any]] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: event-log correlation id of the producing invocation (optional —
+    #: the run ledger links a record to its events/chaos cases by it).
+    run_id: Optional[str] = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        d = {
             "schema": SCHEMA_VERSION,
             "name": self.name,
             "created_unix": self.created_unix,
@@ -179,6 +182,9 @@ class BenchRecord:
             "wall_clock_s": self.wall_clock_s,
             "metrics": self.metrics,
         }
+        if self.run_id is not None:
+            d["run_id"] = self.run_id
+        return d
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "BenchRecord":
@@ -199,6 +205,7 @@ class BenchRecord:
             points=copy.deepcopy(list(data.get("points", []))),
             wall_clock_s=copy.deepcopy(dict(data.get("wall_clock_s", {}))),
             metrics=copy.deepcopy(dict(data.get("metrics", {}))),
+            run_id=data.get("run_id"),
         )
 
     def write(self, path: str) -> str:
@@ -229,10 +236,11 @@ class BenchRecorder:
     conftest hooks, and the tests.
     """
 
-    def __init__(self, name: str, spec=None):
+    def __init__(self, name: str, spec=None, run_id: Optional[str] = None):
         from ..hardware.presets import paper_platform
 
         self.name = name
+        self.run_id = run_id
         self._spec = spec if spec is not None else paper_platform()
         self._points: list[dict[str, Any]] = []
         self._wall: dict[str, dict[str, Any]] = {}
@@ -295,6 +303,7 @@ class BenchRecorder:
             points=list(self._points),
             wall_clock_s=dict(self._wall),
             metrics=dict(self._metrics),
+            run_id=self.run_id,
         )
 
     def write(self, path: str) -> str:

@@ -78,11 +78,21 @@ def run_point(task: PointTask) -> dict[str, Any]:
     crossing the process boundary is primitive and version-stable.
     """
     from ..bench.pingpong import run_pingpong
+    from .log import get_logger
 
+    log = get_logger(point_id=f"{task.figure_id}/{task.label}/{task.size}")
+    log.debug("point.start", figure=task.figure_id, curve=task.label, size=task.size)
     curve = _curve_for(task.figure_id, task.label)
     session = curve.session_factory()
     result = run_pingpong(
         session, task.size, segments=curve.segments, reps=task.reps, warmup=task.warmup
+    )
+    log.debug(
+        "point.done",
+        figure=task.figure_id,
+        curve=task.label,
+        size=task.size,
+        one_way_us=result.one_way_us,
     )
     return {
         "label": task.label,
@@ -155,7 +165,9 @@ def run_sweep_parallel(
     labels = [c.label for c in curves]
     if len(set(labels)) != len(labels):
         raise BenchError(f"duplicate curve labels: {labels}")
+    from .log import get_logger
 
+    log = get_logger()
     tasks = [
         PointTask(plan.figure_id, curve.label, size, reps, warmup)
         for curve in curves
@@ -163,6 +175,9 @@ def run_sweep_parallel(
         if size >= curve.segments
     ]
     n_procs = min(jobs, len(tasks)) or 1
+    log.info(
+        "sweep.start", figure=plan.figure_id, points=len(tasks), jobs=n_procs
+    )
     if n_procs <= 1:
         rows = []
         for t in tasks:
@@ -194,4 +209,5 @@ def run_sweep_parallel(
         )
     # drop sizes skipped by every curve; keep ragged starts otherwise
     out.sizes = [s for s in out.sizes if any(s in out.results[l] for l in labels)]
+    log.info("sweep.done", figure=plan.figure_id, points=len(rows))
     return out

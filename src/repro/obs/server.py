@@ -122,12 +122,24 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
 
+    def do_HEAD(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Same status/headers as GET, body suppressed (probes/load
+        balancers check ``HEAD /healthz`` and ``HEAD /metrics``)."""
+        self._head_only = True
+        try:
+            self.do_GET()
+        finally:
+            self._head_only = False
+
+    _head_only = False
+
     def _reply(self, status: int, ctype: str, body: bytes) -> None:
         self.send_response(status)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if not self._head_only:
+            self.wfile.write(body)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # scrapers poll; stay quiet on the sweep's terminal

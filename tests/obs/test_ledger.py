@@ -1,0 +1,210 @@
+"""Run ledger: ingestion, run linking, queries, gc, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench.pingpong import run_pingpong
+from repro.cli import main
+from repro.core.session import Session
+from repro.faults.chaos import run_chaos
+from repro.hardware.presets import paper_platform
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, Ledger
+from repro.obs.log import EVENT_SCHEMA_VERSION, EventLogger
+from repro.obs.perf import BenchRecorder, pingpong_point
+from repro.util.errors import BenchError
+
+
+def _bench_record(run_id=None):
+    rec = BenchRecorder("unit", run_id=run_id)
+    session = Session(paper_platform(), strategy="greedy")
+    pp = run_pingpong(session, 4096, segments=2, reps=1, warmup=1)
+    rec.record_point(pingpong_point(pp, bench="unit.pp", curve="greedy"))
+    rec.record_wall_clock("unit.wall", [0.5, 0.1, 0.3])
+    return rec.finish()
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    with Ledger(str(tmp_path / "ledger.db")) as led:
+        yield led
+
+
+@pytest.fixture(autouse=True)
+def restore_global_logger():
+    """main() reconfigures the global logger; put the default back."""
+    from repro.obs.log import configure
+
+    yield
+    configure(level="info")
+
+
+class TestIngest:
+    def test_bench_record_points_and_wall_clocks(self, ledger):
+        record = _bench_record(run_id="r-bench")
+        rid = ledger.ingest_bench_record(record)
+        assert rid == "r-bench"
+        (run,) = ledger.runs()
+        assert run["kind"] == "bench" and run["git_sha"] == record.git_sha
+        assert run["n_points"] == 1 and run["n_wall_clocks"] == 1
+        detail = ledger.show(rid)
+        point = detail["points"][0]
+        assert point["bench"] == "unit.pp" and point["curve"] == "greedy"
+        assert point["values"]["one_way_us"] > 0
+        assert detail["wall_clocks"]["unit.wall"]["median"] == 0.3
+
+    def test_reingest_replaces_not_duplicates(self, ledger):
+        record = _bench_record(run_id="r-bench")
+        ledger.ingest_bench_record(record)
+        ledger.ingest_bench_record(record)
+        (run,) = ledger.runs()
+        assert run["n_points"] == 1
+
+    def test_chaos_report_cases(self, ledger):
+        report = run_chaos(seeds=2, strategies="greedy", messages=2)
+        rid = ledger.ingest_chaos_report(report, run_id="r-chaos")
+        detail = ledger.show(rid)
+        assert len(detail["chaos_cases"]) == 2
+        assert {c["strategy"] for c in detail["chaos_cases"]} == {"greedy"}
+        assert all(c["events_executed"] > 0 for c in detail["chaos_cases"])
+        # the replayable plan is stored per case
+        assert ledger.failing_plan(rid, "greedy", 0) is not None
+
+    def test_events_grouped_by_run_id(self, ledger, tmp_path):
+        path = str(tmp_path / "e.jsonl")
+        log = EventLogger(level="debug", path=path, run_id="r-ev")
+        log.info("run.start")
+        log.bind(case_id="greedy/seed1").warn("chaos.case.fail", violations=1)
+        log.close()
+        assert ledger.ingest_events(path) == ["r-ev"]
+        detail = ledger.show("r-ev")
+        assert [e["event"] for e in detail["events"]] == [
+            "run.start", "chaos.case.fail",
+        ]
+        assert detail["events"][1]["case_id"] == "greedy/seed1"
+        assert detail["events"][1]["fields"]["violations"] == 1
+
+    def test_events_without_run_id_need_fallback(self, ledger, tmp_path):
+        path = str(tmp_path / "e.jsonl")
+        log = EventLogger(level="info", path=path)
+        log.info("orphan")
+        log.close()
+        with pytest.raises(BenchError, match="run_id"):
+            ledger.ingest_events(path)
+        assert ledger.ingest_events(path, run_id="adopted") == ["adopted"]
+
+    def test_kinds_merge_into_one_linked_run(self, ledger, tmp_path):
+        """The acceptance shape: bench + chaos + events share one run_id."""
+        rid = "r-shared"
+        ledger.ingest_bench_record(_bench_record(run_id=rid))
+        ledger.ingest_chaos_report(
+            run_chaos(seeds=1, strategies="greedy", messages=2), run_id=rid
+        )
+        path = str(tmp_path / "e.jsonl")
+        log = EventLogger(level="info", path=path, run_id=rid)
+        log.info("run.done")
+        log.close()
+        ledger.ingest_events(path)
+        ledger.add_artifact(rid, "event_log", path)
+        (run,) = ledger.runs()
+        assert run["kind"] == "bench+chaos+events"
+        assert run["git_sha"]  # linked to the commit
+        assert run["n_points"] == 1 and run["n_chaos_cases"] == 1
+        assert run["n_events"] == 1 and run["n_artifacts"] == 1
+
+    def test_ingest_path_autodetects(self, ledger, tmp_path):
+        bench_path = _bench_record(run_id="r1").write(str(tmp_path / "BENCH_u.json"))
+        ev_path = str(tmp_path / "e.jsonl")
+        log = EventLogger(level="info", path=ev_path, run_id="r2")
+        log.info("x")
+        log.close()
+        assert ledger.ingest_path(bench_path) == ["r1"]
+        assert ledger.ingest_path(ev_path) == ["r2"]
+        with pytest.raises(BenchError, match="not a"):
+            other = tmp_path / "other.json"
+            other.write_text('{"hello": 1}')
+            ledger.ingest_path(str(other))
+
+
+class TestQueries:
+    def test_sha_prefix_and_kind_filters(self, ledger):
+        record = _bench_record(run_id="r1")
+        ledger.ingest_bench_record(record)
+        assert record.git_sha is not None
+        assert ledger.runs(sha=record.git_sha[:8])
+        assert ledger.runs(kind="bench") and not ledger.runs(kind="chaos")
+        assert not ledger.runs(sha="ffffffff")
+
+    def test_show_unknown_run_raises(self, ledger):
+        with pytest.raises(BenchError, match="no run"):
+            ledger.show("nope")
+
+    def test_gc_keeps_newest(self, ledger):
+        for i in range(4):
+            ledger._upsert_run(f"r{i}", "events", created_unix=float(i))
+        doomed = ledger.gc(keep=2)
+        assert sorted(doomed) == ["r0", "r1"]
+        assert {r["run_id"] for r in ledger.runs()} == {"r2", "r3"}
+
+    def test_schema_version_guard(self, tmp_path):
+        path = str(tmp_path / "ledger.db")
+        with Ledger(path) as led:
+            led._db.execute(
+                "UPDATE ledger_meta SET value = ? WHERE key = 'schema_version'",
+                (str(LEDGER_SCHEMA_VERSION + 1),),
+            )
+            led._db.commit()
+        with pytest.raises(BenchError, match="schema"):
+            Ledger(path)
+
+
+class TestCli:
+    def test_ingest_query_show_gc(self, tmp_path, capsys):
+        db = str(tmp_path / "ledger.db")
+        record = _bench_record(run_id="r-cli")
+        bench_path = record.write(str(tmp_path / "BENCH_cli.json"))
+        assert main(["ledger", "--db", db, "ingest", bench_path]) == 0
+        assert main(["ledger", "--db", db, "query", "--sha", "HEAD"]) == 0
+        out = capsys.readouterr().out
+        assert "r-cli" in out and "points=1" in out
+        assert main(["ledger", "--db", db, "show", "r-cli"]) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["run_id"] == "r-cli" and len(detail["points"]) == 1
+        assert main(["ledger", "--db", db, "gc", "--keep", "0"]) == 0
+        assert main(["ledger", "--db", db, "query"]) == 1  # empty now
+
+    def test_query_json_and_unknown_sha(self, tmp_path, capsys):
+        db = str(tmp_path / "ledger.db")
+        bench_path = _bench_record(run_id="rj").write(str(tmp_path / "B.json"))
+        main(["ledger", "--db", db, "ingest", bench_path])
+        capsys.readouterr()
+        assert main(["ledger", "--db", db, "query", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["run_id"] == "rj"
+        assert main(["ledger", "--db", db, "query", "--sha", "ffffffff"]) == 1
+
+    def test_chaos_ledger_flag_links_run(self, tmp_path, capsys):
+        db = str(tmp_path / "ledger.db")
+        ev = str(tmp_path / "e.jsonl")
+        rc = main([
+            "--log-file", ev, "chaos", "--seeds", "1", "--strategies", "greedy",
+            "--messages", "2", "--ledger", db,
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        with Ledger(db) as led:
+            (run,) = led.runs()
+            assert "chaos" in run["kind"] and "events" in run["kind"]
+            assert run["n_chaos_cases"] == 1 and run["n_events"] > 0
+            assert any(a["kind"] == "event_log" for a in led.show(run["run_id"])["artifacts"])
+
+    def test_event_log_schema_line_is_ingestable(self, tmp_path):
+        """The --log-file JSONL written by the CLI is schema-stamped."""
+        ev = str(tmp_path / "e.jsonl")
+        main([
+            "--log-file", ev, "chaos", "--seeds", "1", "--strategies", "greedy",
+            "--messages", "2",
+        ])
+        first = json.loads(open(ev).readline())
+        assert first["v"] == EVENT_SCHEMA_VERSION
+        assert first["run_id"]

@@ -21,6 +21,19 @@ def _get(url):
         return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
 
 
+def _head(url):
+    req = urllib.request.Request(url, method="HEAD")
+    with urllib.request.urlopen(req, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+def _head_len(url):
+    req = urllib.request.Request(url, method="HEAD")
+    with urllib.request.urlopen(req, timeout=5) as resp:
+        resp.read()
+        return resp.headers.get("Content-Length")
+
+
 class TestPublisher:
     def test_snapshot_merges_base_and_live(self):
         pub = MetricsPublisher()
@@ -105,6 +118,26 @@ class TestHTTPServer:
         assert status == 200 and body == "ok\n"
         with pytest.raises(urllib.error.HTTPError) as exc_info:
             _get(server.url + "/nope")
+        assert exc_info.value.code == 404
+
+    def test_openmetrics_content_type_on_metrics(self, server):
+        _, ctype, _ = _get(server.url + "/metrics")
+        assert ctype == OPENMETRICS_CONTENT_TYPE
+        assert "version=1.0.0" in ctype and "charset=utf-8" in ctype
+
+    def test_head_matches_get_headers_without_body(self, server):
+        server.publisher.publish_progress("figures", 1, 2)
+        for path in ("/metrics", "/metrics.json", "/healthz"):
+            get_status, get_ctype, get_body = _get(server.url + path)
+            status, ctype, body = _head(server.url + path)
+            assert (status, ctype) == (get_status, get_ctype)
+            assert body == b""  # headers only
+            # Content-Length still advertises the GET body size
+            assert int(_head_len(server.url + path)) == len(get_body.encode())
+
+    def test_head_unknown_path_404s(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _head(server.url + "/nope")
         assert exc_info.value.code == 404
 
     def test_context_manager_starts_and_stops(self):
