@@ -10,9 +10,11 @@ the ``BENCH_pytest.json`` this session writes can be compared against a
 ``repro bench run --engine`` record.
 """
 
+import random
+
 from repro import Session, paper_platform, run_pingpong
 from repro.obs.perf import pingpong_point
-from repro.sim import FlowNetwork, Link, Simulator
+from repro.sim import Link, Simulator, make_flow_network
 from repro.util.units import MB
 
 
@@ -36,21 +38,60 @@ def test_event_kernel_throughput(benchmark, record_wall):
     record_wall("engine.event_kernel_10k", benchmark)
 
 
-def test_flow_reallocation(benchmark, record_wall):
-    """Start/complete 200 flows sharing a bus (quadratic reallocation)."""
+def test_event_kernel_mixed_100k(benchmark, record_wall):
+    """100k-event spread + cancellation churn (the backend stress shape).
+
+    Seeded, so every backend executes the identical event sequence; this
+    is the bench that feeds the ``engine.events_per_sec`` headline.
+    """
 
     def run():
         sim = Simulator()
-        net = FlowNetwork(sim)
-        bus = Link("bus", 1000.0)
-        rails = [Link(f"r{i}", 400.0) for i in range(8)]
-        for i in range(200):
-            net.start_flow([bus, rails[i % 8]], size=10_000.0 + i)
-        sim.run_until_idle()
-        return net.completed_count
+        rng = random.Random(20260807)
+        count = [0]
+        pending = []
 
-    assert benchmark(run) == 200
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                pending.append(sim.schedule(rng.random() * 200.0, tick))
+                if count[0] % 3 == 0:
+                    pending.append(sim.schedule(rng.random() * 200.0, tick))
+                if len(pending) > 64:
+                    pending.pop(rng.randrange(len(pending))).cancel()
+
+        for _ in range(512):
+            sim.schedule(rng.random() * 200.0, tick)
+        sim.run_until_idle(max_events=400_000)
+        return count[0]
+
+    assert benchmark(run) == 100_000
+    record_wall("engine.event_kernel_100k", benchmark)
+
+
+def _flow_reallocation(n_flows):
+    sim = Simulator()
+    net = make_flow_network(sim)
+    bus = Link("bus", 1000.0)
+    rails = [Link(f"r{i}", 400.0) for i in range(8)]
+    for i in range(n_flows):
+        net.start_flow([bus, rails[i % 8]], size=10_000.0 + i)
+    sim.run_until_idle()
+    return net.completed_count
+
+
+def test_flow_reallocation(benchmark, record_wall):
+    """Start/complete 200 flows sharing a bus (quadratic reallocation)."""
+
+    assert benchmark(lambda: _flow_reallocation(200)) == 200
     record_wall("engine.flow_reallocation_200", benchmark)
+
+
+def test_flow_reallocation_1000(benchmark, record_wall):
+    """1000-flow variant — the size where vectorized max-min pays off."""
+
+    assert benchmark(lambda: _flow_reallocation(1000)) == 1000
+    record_wall("engine.flow_reallocation_1000", benchmark)
 
 
 def test_pingpong_simulation_cost(benchmark, record_wall, recorder):

@@ -253,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
     br.add_argument(
         "--wall-reps", type=int, default=5, help="wall-clock repetitions (median kept)"
     )
+    br.add_argument(
+        "--backend", choices=("auto", "heap", "calendar", "native"), default=None,
+        help="simulation kernel backend (default: $REPRO_SIM_BACKEND, then"
+        " auto = native when a C toolchain is available, else calendar);"
+        " exported to $REPRO_SIM_BACKEND so --jobs workers inherit it",
+    )
+    br.add_argument(
+        "--flows", choices=("auto", "scalar", "vector"), default=None,
+        help="flow-allocator mode (default: $REPRO_SIM_FLOWS, then auto ="
+        " vector when numpy is available); exported to $REPRO_SIM_FLOWS",
+    )
     br.add_argument("--name", help="record name (default: derived from suites)")
     br.add_argument("-o", "--output", required=True, metavar="JSON")
     br.add_argument(
@@ -587,6 +598,7 @@ def _cmd_trace(args) -> int:
             "target": args.target,
             "trace": {"path": args.output, "span_events": n_events},
             "kernel": {
+                "backend": sim.backend,
                 "events_executed": sim.events_executed,
                 "heap_compactions": sim.heap_compactions,
                 "tombstone_ratio": sim.tombstone_ratio,
@@ -622,7 +634,7 @@ def _cmd_trace(args) -> int:
     if tracer is not True:
         print(_stream_summary(tracer))
     print(
-        f"kernel: {sim.events_executed} events executed,"
+        f"kernel: {sim.backend} backend, {sim.events_executed} events executed,"
         f" {sim.heap_compactions} heap compactions,"
         f" tombstone ratio {sim.tombstone_ratio:.3f}"
     )
@@ -718,6 +730,22 @@ def _cmd_bench(args) -> int:
         from .obs.perf import BenchRecorder, run_engine_suite, run_figure_suite
 
         log = get_logger()
+        # Select the kernel backend / flows mode via the environment so
+        # that --jobs worker processes inherit the exact same kernel.
+        import os as _os
+
+        from .sim.backend import ENV_BACKEND, ENV_FLOWS, flows_mode, resolve_backend
+
+        if args.backend:
+            _os.environ[ENV_BACKEND] = args.backend
+        if args.flows:
+            _os.environ[ENV_FLOWS] = args.flows
+        try:
+            backend = resolve_backend()
+            fmode = flows_mode()
+        except (ValueError, RuntimeError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
         run_figures = args.figures is not None
         run_engine = args.engine or not run_figures
         suites = [s for s, on in (("engine", run_engine), ("figures", run_figures)) if on]
@@ -725,7 +753,9 @@ def _cmd_bench(args) -> int:
             args.name or "+".join(suites),
             spec=_load_platform(args),
             run_id=log.bound.get("run_id"),
+            backend=backend,
         )
+        print(f"kernel backend: {backend}, flows: {fmode}")
         log.info("run.start", command="bench run", record=recorder.name, suites=suites)
         server = None
         engine_publish = figure_publish = None

@@ -48,11 +48,14 @@ class Session:
         sim: Optional[Simulator] = None,
         trace: Any = False,
         faults: Any = None,
+        backend: Optional[str] = None,
     ):
         if not isinstance(spec, PlatformSpec):
             raise ConfigError(f"spec must be a PlatformSpec, got {type(spec).__name__}")
         self.spec = spec
-        self.sim = sim if sim is not None else Simulator()
+        #: ``backend`` picks the kernel implementation (heap / calendar /
+        #: native); ``None`` defers to ``$REPRO_SIM_BACKEND`` then auto.
+        self.sim = sim if sim is not None else Simulator(backend=backend)
         self.platform = Platform(self.sim, spec)
         self.samples = samples
         #: span-based timeline (pump phases, per-rail PIO/DMA, rendezvous).

@@ -9,7 +9,7 @@ knows nothing about protocols or strategies.
 from __future__ import annotations
 
 from ..sim.engine import Simulator
-from ..sim.flows import FlowNetwork, Link
+from ..sim.flows import Link, make_flow_network
 from ..util.errors import PlatformError
 from .host import Host
 from .nic import NIC
@@ -25,7 +25,7 @@ class Platform:
     def __init__(self, sim: Simulator, spec: PlatformSpec):
         self.sim = sim
         self.spec = spec
-        self.flownet = FlowNetwork(sim)
+        self.flownet = make_flow_network(sim)
         self.hosts: list[Host] = [
             Host(sim, node_id, spec.host) for node_id in range(spec.n_nodes)
         ]

@@ -141,6 +141,15 @@ def compare_records(
         current_name=current.name,
         spec_match=baseline.spec_sha256 == current.spec_sha256,
     )
+    if baseline.backend != current.backend and (baseline.backend or current.backend):
+        # Simulated results must still match bit-for-bit (backends are
+        # pop-order identical); wall clocks are expected to differ.
+        report.notes.append(
+            "kernel backend differs: baseline="
+            f"{baseline.backend or 'unrecorded'}"
+            f" current={current.backend or 'unrecorded'}"
+            " (wall-clock deltas reflect the backend change)"
+        )
 
     # -- simulated points (gated) -------------------------------------------
     base_points = {point_key(p): p for p in baseline.points}

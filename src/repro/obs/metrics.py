@@ -139,6 +139,12 @@ SCHEMA: dict[str, MetricSpec] = {
             "fraction of event-heap entries that are cancelled tombstones"
             " (last observed at the end of a run)",
         ),
+        MetricSpec(
+            "engine.events_per_sec", "gauge", "1/s",
+            "kernel event throughput headline: executed events per"
+            " wall-clock second on the 100k mixed micro-benchmark"
+            " (best rep; backend-dependent, see BENCH record 'backend')",
+        ),
         # fault-injection subsystem (registered only when a FaultPlan is
         # active; a fault-free session emits none of these)
         MetricSpec(

@@ -166,6 +166,9 @@ class BenchRecord:
     #: event-log correlation id of the producing invocation (optional —
     #: the run ledger links a record to its events/chaos cases by it).
     run_id: Optional[str] = None
+    #: resolved simulation-kernel backend the run used (optional; absent
+    #: in records predating pluggable backends).
+    backend: Optional[str] = None
 
     def to_dict(self) -> dict[str, Any]:
         d = {
@@ -184,6 +187,8 @@ class BenchRecord:
         }
         if self.run_id is not None:
             d["run_id"] = self.run_id
+        if self.backend is not None:
+            d["backend"] = self.backend
         return d
 
     @classmethod
@@ -206,6 +211,7 @@ class BenchRecord:
             wall_clock_s=copy.deepcopy(dict(data.get("wall_clock_s", {}))),
             metrics=copy.deepcopy(dict(data.get("metrics", {}))),
             run_id=data.get("run_id"),
+            backend=data.get("backend"),
         )
 
     def write(self, path: str) -> str:
@@ -236,11 +242,18 @@ class BenchRecorder:
     conftest hooks, and the tests.
     """
 
-    def __init__(self, name: str, spec=None, run_id: Optional[str] = None):
+    def __init__(
+        self,
+        name: str,
+        spec=None,
+        run_id: Optional[str] = None,
+        backend: Optional[str] = None,
+    ):
         from ..hardware.presets import paper_platform
 
         self.name = name
         self.run_id = run_id
+        self.backend = backend
         self._spec = spec if spec is not None else paper_platform()
         self._points: list[dict[str, Any]] = []
         self._wall: dict[str, dict[str, Any]] = {}
@@ -304,6 +317,7 @@ class BenchRecorder:
             wall_clock_s=dict(self._wall),
             metrics=dict(self._metrics),
             run_id=self.run_id,
+            backend=self.backend,
         )
 
     def write(self, path: str) -> str:
@@ -361,18 +375,55 @@ def _wall_engine_events() -> int:
     return count[0]
 
 
-def _wall_flow_reallocation() -> int:
+def _wall_engine_events_100k() -> int:
+    """100k-event mixed kernel workload: spread timers plus cancellation
+    churn — the shape the calendar/native backends are built for.
+    Deterministic (seeded Mersenne Twister, stable across CPython
+    versions), so every backend executes the identical event sequence."""
+    import random
+
     from ..sim.engine import Simulator
-    from ..sim.flows import FlowNetwork, Link
 
     sim = Simulator()
-    net = FlowNetwork(sim)
+    rng = random.Random(20260807)
+    count = [0]
+    pending: list = []
+
+    def tick():
+        count[0] += 1
+        if count[0] < 100_000:
+            pending.append(sim.schedule(rng.random() * 200.0, tick))
+            if count[0] % 3 == 0:
+                pending.append(sim.schedule(rng.random() * 200.0, tick))
+            if len(pending) > 64:
+                pending.pop(rng.randrange(len(pending))).cancel()
+
+    for _ in range(512):
+        sim.schedule(rng.random() * 200.0, tick)
+    sim.run_until_idle(max_events=400_000)
+    return count[0]
+
+
+def _flow_reallocation(n_flows: int) -> int:
+    from ..sim.engine import Simulator
+    from ..sim.flows import Link, make_flow_network
+
+    sim = Simulator()
+    net = make_flow_network(sim)
     bus = Link("bus", 1000.0)
     rails = [Link(f"r{i}", 400.0) for i in range(8)]
-    for i in range(200):
+    for i in range(n_flows):
         net.start_flow([bus, rails[i % 8]], size=10_000.0 + i)
     sim.run_until_idle()
     return net.completed_count
+
+
+def _wall_flow_reallocation() -> int:
+    return _flow_reallocation(200)
+
+
+def _wall_flow_reallocation_1000() -> int:
+    return _flow_reallocation(1000)
 
 
 def _sim_pingpong(strategy: str, size: int, segments: int, reps: int, warmup: int):
@@ -389,12 +440,18 @@ def _sim_pingpong(strategy: str, size: int, segments: int, reps: int, warmup: in
 #: engine record and a pytest-benchmark record are directly comparable.
 ENGINE_BENCHES: dict[str, Callable[[], Any]] = {
     "event_kernel_10k": _wall_engine_events,
+    "event_kernel_100k": _wall_engine_events_100k,
     "flow_reallocation_200": _wall_flow_reallocation,
+    "flow_reallocation_1000": _wall_flow_reallocation_1000,
     "pingpong_1MB_greedy": lambda: _sim_pingpong("greedy", 1024 * 1024, 2, 2, 1),
     "pingpong_64B_aggreg_multirail": lambda: _sim_pingpong(
         "aggreg_multirail", 64, 4, 10, 2
     ),
 }
+
+#: benches whose return value is an executed-event count; the best rep
+#: yields the ``engine.events_per_sec`` headline metric.
+_EVENT_RATE_BENCH = "event_kernel_100k"
 
 
 def run_engine_suite(
@@ -414,6 +471,7 @@ def run_engine_suite(
     total = len(ENGINE_BENCHES)
     if publish:
         publish("", 0, total)
+    events_per_sec = None
     for done, (bench, fn) in enumerate(ENGINE_BENCHES.items(), start=1):
         secs = []
         result = None
@@ -422,13 +480,20 @@ def run_engine_suite(
             result = fn()
             secs.append(time.perf_counter() - t0)
         recorder.record_wall_clock(f"engine.{bench}", secs)
+        if bench == _EVENT_RATE_BENCH and isinstance(result, int) and result:
+            events_per_sec = result / min(secs)
         if isinstance(result, PingPongResult):
             recorder.record_point(
                 pingpong_point(result, bench=f"engine.{bench}")
             )
         if publish:
             publish(bench, done, total)
-    recorder.record_metrics(metrics_probe())
+    snap = metrics_probe()
+    if events_per_sec is not None:
+        # Headline kernel throughput (best rep of the 100k mixed
+        # workload); flows into the compare delta table's metrics rows.
+        snap["engine.events_per_sec"] = events_per_sec
+    recorder.record_metrics(snap)
 
 
 def run_figure_suite(

@@ -6,10 +6,20 @@ Public surface:
 * :mod:`~repro.sim.process` — generator processes, :class:`Signal`, combinators.
 * :mod:`~repro.sim.resources` — counted :class:`Resource` and FIFO :class:`Store`.
 * :mod:`~repro.sim.flows` — max-min fair flow-level bandwidth sharing.
+* :mod:`~repro.sim.backend` — pluggable kernel backends (heap / calendar /
+  native) selected via ``Simulator(backend=)`` or ``$REPRO_SIM_BACKEND``.
 """
 
+from .backend import (
+    BACKEND_NAMES,
+    BackendUnavailableError,
+    available_backends,
+    flows_mode,
+    native_available,
+    resolve_backend,
+)
 from .engine import EventHandle, ScheduleInPastError, SimulationError, Simulator
-from .flows import Flow, FlowError, FlowNetwork, Link, max_min_rates
+from .flows import Flow, FlowError, FlowNetwork, Link, make_flow_network, max_min_rates
 from .process import AllOf, AnyOf, Process, ProcessError, Signal, Timeout, spawn
 from .resources import Resource, ResourceError, Store
 
@@ -33,4 +43,11 @@ __all__ = [
     "FlowNetwork",
     "FlowError",
     "max_min_rates",
+    "make_flow_network",
+    "BACKEND_NAMES",
+    "BackendUnavailableError",
+    "available_backends",
+    "flows_mode",
+    "native_available",
+    "resolve_backend",
 ]

@@ -120,9 +120,17 @@ class EventHandle:
 class Simulator:
     """A deterministic discrete-event simulator.
 
+    ``Simulator(...)`` is also the backend dispatcher: constructing it
+    returns the concrete kernel selected by ``backend=`` /
+    ``$REPRO_SIM_BACKEND`` / auto-detection (see :mod:`repro.sim.backend`).
+    The class body below is the ``heap`` backend — the original
+    tombstoned-binary-heap kernel, kept unchanged as the reference
+    implementation that the calendar and native backends are
+    differentially tested against.
+
     Example
     -------
-    >>> sim = Simulator()
+    >>> sim = Simulator(backend="heap")
     >>> out = []
     >>> _ = sim.schedule(5.0, out.append, "a")
     >>> _ = sim.schedule(1.0, out.append, "b")
@@ -133,12 +141,26 @@ class Simulator:
     5.0
     """
 
+    #: concrete backend name; subclasses override.
+    backend = "heap"
+
     #: don't bother compacting heaps with fewer dead entries than this.
     COMPACT_MIN_DEAD = 64
     #: compact when dead entries exceed this fraction of the heap.
     COMPACT_RATIO = 0.5
 
-    def __init__(self) -> None:
+    def __new__(cls, backend: Optional[str] = None) -> "Simulator":
+        # Dispatch only on the base class: Simulator() returns whichever
+        # backend is selected; subclasses construct directly.
+        if cls is Simulator:
+            from .backend import resolve_backend, simulator_class
+
+            name = resolve_backend(backend)
+            if name != "heap":
+                return object.__new__(simulator_class(name))
+        return object.__new__(cls)
+
+    def __init__(self, backend: Optional[str] = None) -> None:
         self._now: float = 0.0
         self._heap: list[EventHandle] = []
         #: zero-delay lane: events scheduled at exactly the current time.
@@ -363,4 +385,7 @@ class Simulator:
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.3f} pending={self.pending}>"
+        return (
+            f"<Simulator backend={self.backend} t={self._now:.3f}"
+            f" pending={self.pending}>"
+        )

@@ -54,7 +54,14 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from .engine import EventHandle, SimulationError, Simulator
 
-__all__ = ["Link", "Flow", "FlowNetwork", "FlowError", "max_min_rates"]
+__all__ = [
+    "Link",
+    "Flow",
+    "FlowNetwork",
+    "FlowError",
+    "max_min_rates",
+    "make_flow_network",
+]
 
 _EPS = 1e-9
 
@@ -197,6 +204,9 @@ def max_min_rates(
 class FlowNetwork:
     """Manages active flows and keeps their completion events consistent."""
 
+    #: allocator mode label (``repro.sim.flows_vec`` overrides).
+    mode = "scalar"
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         #: insertion-ordered so reallocation visits flows deterministically
@@ -233,7 +243,7 @@ class FlowNetwork:
         """
         if size < 0:
             raise FlowError(f"negative flow size {size}")
-        flow = Flow(
+        flow = self._new_flow(
             next(self._fid),
             path,
             size,
@@ -248,9 +258,7 @@ class FlowNetwork:
                 self.sim.schedule(0.0, on_drain, flow)
             self.sim.schedule(extra_latency, self._finish, flow)
             return flow
-        self._flows[flow] = None
-        for link in flow.path:
-            link.active_flows.add(flow)
+        self._attach(flow)
         self._reallocate(flow)
         return flow
 
@@ -276,6 +284,16 @@ class FlowNetwork:
         self._reallocate(flow)
 
     # ------------------------------------------------------------------ #
+    # Subclass hooks: the vectorized network (``flows_vec``) overrides
+    # these to mirror flow state into persistent numpy arrays.
+    def _new_flow(self, *args) -> Flow:
+        return Flow(*args)
+
+    def _attach(self, flow: Flow) -> None:
+        self._flows[flow] = None
+        for link in flow.path:
+            link.active_flows.add(flow)
+
     def _detach(self, flow: Flow) -> None:
         self._flows.pop(flow, None)
         for link in flow.path:
@@ -371,3 +389,20 @@ class FlowNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<FlowNetwork active={len(self._flows)} done={self.completed_count}>"
+
+
+def make_flow_network(sim: Simulator, mode: Optional[str] = None) -> FlowNetwork:
+    """Construct a flow network with the selected allocator mode.
+
+    ``mode`` of ``None`` resolves via ``$REPRO_SIM_FLOWS`` (then
+    ``auto``, see :func:`repro.sim.backend.flows_mode`).  Both modes
+    produce bit-identical rates and event schedules; ``vector`` batches
+    the settle step and large max-min components through numpy.
+    """
+    from .backend import flows_mode
+
+    if flows_mode(mode) == "vector":
+        from .flows_vec import VectorFlowNetwork
+
+        return VectorFlowNetwork(sim)
+    return FlowNetwork(sim)

@@ -1,0 +1,461 @@
+"""Vectorized max-min allocation: numpy batch progressive filling.
+
+:class:`VectorFlowNetwork` keeps per-flow state (``remaining``, ``rate``,
+``last_update``) and the flow/link incidence matrix in persistent numpy
+arrays, so the two hot paths of :class:`~repro.sim.flows.FlowNetwork`
+become array operations:
+
+* **settle** — ``rem = max(0, rem - rate * elapsed)`` over all active
+  flows in one elementwise pass;
+* **max-min progressive filling** — per-round share computation, freeze
+  masks and residual updates over the incidence matrix instead of
+  per-flow dict walks.
+
+Bit-identity with the scalar reference is a hard requirement (CI gates
+figure digests at ``--sim-tol 0``), which dictates the shape of the
+vector code:
+
+* the bottleneck scan must visit links in the scalar's dict-insertion
+  (first-encounter) order with the same eps-tolerant comparison — the
+  persistent ``keymat`` (``fid * 64 + path position``, column-min over
+  the component) reconstructs that order exactly;
+* residual capacity updates must apply the *sequential* per-link chain
+  ``r = max(0, r - share)`` once per crossing — in IEEE-754 the chained
+  form differs from ``r - k * share`` in the last ulp, and the scalar
+  reference chains;
+* elementwise float64 numpy ops produce the same bits as the equivalent
+  python-float expressions, so the settle step vectorizes freely.
+
+Because both allocators are bit-identical, the network can cut over to
+the scalar algorithm for small components (numpy's fixed per-call cost
+dominates below a few dozen flows) without perturbing determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .flows import _EPS, Flow, FlowError, FlowNetwork, Link
+
+__all__ = ["VecFlow", "VectorFlowNetwork", "max_min_rates_vec", "SCALAR_CUTOVER"]
+
+#: components smaller than this run the scalar allocator — numpy's fixed
+#: per-call cost only pays off past a few dozen flows.  Any value is
+#: safe: both allocators are bit-identical (property-tested).
+SCALAR_CUTOVER = 24
+
+#: ``keymat`` packs (fid, path position) as ``fid * _MAX_PATH + pos``;
+#: exact in float64 up to fid ~ 2**47.
+_MAX_PATH = 64
+
+# The base class' slot member descriptors: VecFlow shadows these three
+# names with properties but still uses the underlying slot storage while
+# the flow is outside the network (before attach / after detach).
+_F_REM = Flow.__dict__["remaining"]
+_F_RATE = Flow.__dict__["rate"]
+_F_LAST = Flow.__dict__["last_update"]
+
+
+def _water_fill(inc, link_order, residual):
+    """Progressive filling over an incidence matrix; returns rates (F,).
+
+    ``inc`` is the (F, L) link-crossing multiplicity matrix, ``residual``
+    the (L,) capacity vector (mutated in place), ``link_order`` the
+    column scan order for the bottleneck search — this must match the
+    scalar implementation's first-encounter order so the eps-tolerant
+    scan picks the same bottleneck and float updates chain identically.
+    """
+    nflows = inc.shape[0]
+    # The bottleneck scan and residual chains run on plain Python lists:
+    # float64 round-trips through `tolist` exactly, and per-element list
+    # access beats numpy scalar boxing by ~10x at these sizes.
+    counts = inc.sum(axis=0, dtype=np.int64).tolist()
+    res = residual.tolist() if isinstance(residual, np.ndarray) else list(residual)
+    order = [int(j) for j in link_order]
+    rates = np.zeros(nflows, dtype=np.float64)
+    unfrozen = np.ones(nflows, dtype=bool)
+    remaining = nflows
+    while remaining:
+        best = math.inf
+        bottleneck = -1
+        for j in order:
+            n = counts[j]
+            if n <= 0:
+                continue
+            share = res[j] / n
+            if share < best - _EPS:
+                best = share
+                bottleneck = j
+        if bottleneck < 0:  # pragma: no cover - defensive
+            raise FlowError("no bottleneck found with unfrozen flows remaining")
+        frozen_now = unfrozen & (inc[:, bottleneck] > 0)
+        rates[frozen_now] = best
+        remaining -= int(frozen_now.sum())
+        if remaining == 0:
+            # last round: residual/counts are never read again, so the
+            # (bit-exact but dead) chain bookkeeping can be skipped
+            break
+        # Per-link residual updates chain sequentially (k applications of
+        # max(0, r - best), NOT r - k*best): bit-compatible with the
+        # scalar reference's per-flow loop.  Order across links is
+        # irrelevant — each link's chain is independent.
+        k = inc[frozen_now].sum(axis=0, dtype=np.int64).tolist()
+        for j, kj in enumerate(k):
+            if kj:
+                r = res[j]
+                for _ in range(kj):
+                    r = r - best
+                    if r < 0.0:
+                        r = 0.0
+                res[j] = r
+                counts[j] -= kj
+        unfrozen &= ~frozen_now
+    return rates
+
+
+def max_min_rates_vec(
+    flows: Iterable[Flow], capacities: Optional[dict[Link, float]] = None
+) -> dict[Flow, float]:
+    """Vectorized :func:`~repro.sim.flows.max_min_rates`.
+
+    Builds the incidence matrix from scratch per call — the standalone
+    differential-testing entry point.  :class:`VectorFlowNetwork` keeps
+    the matrix persistent instead.  Returns the same mapping (same float
+    bits) as the scalar reference; key order follows the input order
+    rather than the scalar's freeze order.
+    """
+    flows = list(flows)
+    if not flows:
+        return {}
+    link_idx: dict[Link, int] = {}
+    links: list[Link] = []
+    for f in flows:
+        if not f.path:
+            raise FlowError(f"flow {f.fid} has an empty path")
+        for link in f.path:
+            if link not in link_idx:
+                link_idx[link] = len(links)
+                links.append(link)
+    nlinks = len(links)
+    inc = np.zeros((len(flows), nlinks), dtype=np.int16)
+    for i, f in enumerate(flows):
+        for link in f.path:
+            inc[i, link_idx[link]] += 1
+    residual = np.array(
+        [capacities[ln] if capacities else ln.capacity for ln in links],
+        dtype=np.float64,
+    )
+    rates = _water_fill(inc, range(nlinks), residual)
+    return {f: float(r) for f, r in zip(flows, rates)}
+
+
+class VecFlow(Flow):
+    """Flow whose mutable state lives in the network's arrays.
+
+    While attached (``slot >= 0``) ``remaining`` / ``rate`` /
+    ``last_update`` read and write the owning network's float64 arrays;
+    outside the network (zero-size flows, completed flows) they fall
+    back to the plain slot storage inherited from :class:`Flow`.  All
+    getters return python floats so reprs, digests and JSON output are
+    indistinguishable from the scalar network's.
+    """
+
+    __slots__ = ("net", "slot")
+
+    def __init__(self, net: "VectorFlowNetwork", *args):
+        self.net = net
+        self.slot = -1
+        super().__init__(*args)
+
+    @property
+    def remaining(self) -> float:
+        s = self.slot
+        if s < 0:
+            return _F_REM.__get__(self)
+        return float(self.net._rem[s])
+
+    @remaining.setter
+    def remaining(self, v: float) -> None:
+        s = self.slot
+        if s < 0:
+            _F_REM.__set__(self, v)
+        else:
+            self.net._rem[s] = v
+
+    @property
+    def rate(self) -> float:
+        s = self.slot
+        if s < 0:
+            return _F_RATE.__get__(self)
+        return float(self.net._rate[s])
+
+    @rate.setter
+    def rate(self, v: float) -> None:
+        s = self.slot
+        if s < 0:
+            _F_RATE.__set__(self, v)
+        else:
+            self.net._rate[s] = v
+
+    @property
+    def last_update(self) -> float:
+        s = self.slot
+        if s < 0:
+            return _F_LAST.__get__(self)
+        return float(self.net._last[s])
+
+    @last_update.setter
+    def last_update(self, v: float) -> None:
+        s = self.slot
+        if s < 0:
+            _F_LAST.__set__(self, v)
+        else:
+            self.net._last[s] = v
+            # a direct write can desync the settle-idempotence stamp
+            self.net._settled_at = -1.0
+
+
+class VectorFlowNetwork(FlowNetwork):
+    """FlowNetwork with persistent numpy state (see module docstring).
+
+    Public behaviour — rates, completion times, event sequence numbers,
+    counters — is bit-identical to the scalar :class:`FlowNetwork`.
+    """
+
+    mode = "vector"
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        cap = 16
+        self._cap = cap
+        self._lcap = 8
+        self._nlinks = 0
+        self._rem = np.zeros(cap, dtype=np.float64)
+        self._rate = np.zeros(cap, dtype=np.float64)
+        self._last = np.zeros(cap, dtype=np.float64)
+        self._fid_arr = np.zeros(cap, dtype=np.int64)
+        self._active = np.zeros(cap, dtype=bool)
+        self._inc = np.zeros((cap, self._lcap), dtype=np.int16)
+        self._keymat = np.full((cap, self._lcap), np.inf, dtype=np.float64)
+        self._free = list(range(cap - 1, -1, -1))
+        self._slot_flow: list[Optional[VecFlow]] = [None] * cap
+        self._links: list[Link] = []
+        self._link_idx: dict[Link, int] = {}
+        #: allocator-path counters (observability; not part of digests).
+        self.vector_calls = 0
+        self.scalar_calls = 0
+        #: sim time of the last settle — settling twice at the same time
+        #: is a no-op (elapsed 0), so the second pass can be skipped.
+        self._settled_at = -1.0
+
+    # -- capacity management ------------------------------------------- #
+    def _grow_rows(self) -> None:
+        old, new = self._cap, self._cap * 2
+        for name in ("_rem", "_rate", "_last"):
+            arr = np.zeros(new, dtype=np.float64)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        fid2 = np.zeros(new, dtype=np.int64)
+        fid2[:old] = self._fid_arr
+        self._fid_arr = fid2
+        act2 = np.zeros(new, dtype=bool)
+        act2[:old] = self._active
+        self._active = act2
+        inc2 = np.zeros((new, self._lcap), dtype=np.int16)
+        inc2[:old] = self._inc
+        self._inc = inc2
+        key2 = np.full((new, self._lcap), np.inf, dtype=np.float64)
+        key2[:old] = self._keymat
+        self._keymat = key2
+        self._slot_flow.extend([None] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+        self._cap = new
+
+    def _register_link(self, link: Link) -> int:
+        j = self._nlinks
+        if j >= self._lcap:
+            newl = self._lcap * 2
+            inc2 = np.zeros((self._cap, newl), dtype=np.int16)
+            inc2[:, : self._lcap] = self._inc
+            self._inc = inc2
+            key2 = np.full((self._cap, newl), np.inf, dtype=np.float64)
+            key2[:, : self._lcap] = self._keymat
+            self._keymat = key2
+            self._lcap = newl
+        self._link_idx[link] = j
+        self._links.append(link)
+        self._nlinks = j + 1
+        return j
+
+    # -- FlowNetwork hooks --------------------------------------------- #
+    def _new_flow(self, *args) -> VecFlow:
+        return VecFlow(self, *args)
+
+    def _attach(self, flow: VecFlow) -> None:
+        super()._attach(flow)
+        if len(flow.path) > _MAX_PATH:
+            raise FlowError(f"flow {flow.fid} path longer than {_MAX_PATH} links")
+        if not self._free:
+            self._grow_rows()
+        s = self._free.pop()
+        # Move state written by Flow.__init__ (pre-attach, slot storage)
+        # into the arrays, then activate the slot.
+        self._rem[s] = _F_REM.__get__(flow)
+        self._rate[s] = _F_RATE.__get__(flow)
+        self._last[s] = _F_LAST.__get__(flow)
+        self._fid_arr[s] = flow.fid
+        self._inc[s, :] = 0
+        self._keymat[s, :] = np.inf
+        for pos, link in enumerate(flow.path):
+            j = self._link_idx.get(link)
+            if j is None:
+                j = self._register_link(link)
+            self._inc[s, j] += 1
+            key = float(flow.fid * _MAX_PATH + pos)
+            if key < self._keymat[s, j]:
+                self._keymat[s, j] = key
+        self._slot_flow[s] = flow
+        self._active[s] = True
+        flow.slot = s
+
+    def _detach(self, flow: VecFlow) -> None:
+        s = flow.slot
+        if s >= 0:
+            rem = float(self._rem[s])
+            rate = float(self._rate[s])
+            last = float(self._last[s])
+            flow.slot = -1
+            _F_REM.__set__(flow, rem)
+            _F_RATE.__set__(flow, rate)
+            _F_LAST.__set__(flow, last)
+            self._active[s] = False
+            self._slot_flow[s] = None
+            self._free.append(s)
+        super()._detach(flow)
+
+    # -- vectorized hot paths ------------------------------------------ #
+    def _settle(self) -> None:
+        if not self._flows:
+            return
+        now = self.sim.now
+        if now == self._settled_at:
+            # every active row already has last == now (settle leaves it
+            # so, and attach stamps new rows with now), so elapsed would
+            # be 0.0 across the board — skip the numpy round-trip.
+            return
+        act = self._active
+        elapsed = now - self._last[act]
+        # Elementwise-identical to the scalar loop: for elapsed == 0 the
+        # expression reduces to max(0, rem - 0) == rem exactly, so the
+        # scalar's `elapsed > 0` skip needs no mask here.
+        self._rem[act] = np.maximum(0.0, self._rem[act] - self._rate[act] * elapsed)
+        self._last[act] = now
+        self._settled_at = now
+
+    def _all_slots(self) -> tuple[list[Flow], np.ndarray]:
+        """Every attached flow with its slot, in scalar iteration order."""
+        slots = np.nonzero(self._active)[0]
+        # fids are assigned in insertion order, so sorting by fid
+        # reproduces the scalar's `_flows` dict iteration order.
+        order = np.argsort(self._fid_arr[slots], kind="stable")
+        return list(self._flows), slots[order]
+
+    def _component_slots(self, origin: Flow) -> tuple[list[Flow], np.ndarray]:
+        nlinks = self._nlinks
+        if nlinks == 0 or not self._flows:
+            return [], np.empty(0, dtype=np.int64)
+        inc = self._inc[:, :nlinks]
+        act = self._active
+        nflows = len(self._flows)
+        linkmask = np.zeros(nlinks, dtype=bool)
+        for link in origin.path:
+            j = self._link_idx.get(link)
+            if j is not None:
+                linkmask[j] = True
+        # Fixpoint on the link set (L is small); monotone, so it
+        # terminates in at most L rounds.
+        while True:
+            flowmask = act & (inc[:, linkmask] > 0).any(axis=1)
+            if int(flowmask.sum()) == nflows:
+                # Already spans every flow — the fixpoint can only
+                # confirm that, so skip the remaining rounds.
+                return self._all_slots()
+            merged = linkmask | (inc[flowmask] > 0).any(axis=0)
+            if int(merged.sum()) == int(linkmask.sum()):
+                break
+            linkmask = merged
+        slots = np.nonzero(flowmask)[0]
+        order = np.argsort(self._fid_arr[slots], kind="stable")
+        slots = slots[order]
+        return [self._slot_flow[s] for s in slots.tolist()], slots
+
+    def _component(self, origin: Flow) -> list[Flow]:
+        return self._component_slots(origin)[0]
+
+    def _max_min_slots(self, slots: np.ndarray) -> np.ndarray:
+        nlinks = self._nlinks
+        inc = self._inc[slots][:, :nlinks]
+        used = inc.sum(axis=0, dtype=np.int64) > 0
+        keys = self._keymat[slots][:, :nlinks].min(axis=0)
+        cand = np.nonzero(used)[0]
+        link_order = cand[np.argsort(keys[cand], kind="stable")]
+        links = self._links
+        residual = [0.0] * nlinks
+        for j in cand.tolist():
+            residual[j] = links[j].capacity
+        return _water_fill(inc, link_order, residual)
+
+    def _reallocate(self, origin: Optional[Flow] = None) -> None:
+        self._settle()
+        if origin is not None:
+            affected, slots = self._component_slots(origin)
+        else:
+            affected, slots = self._all_slots()
+        if not affected:
+            return
+        if len(affected) < SCALAR_CUTOVER:
+            # Small component: scalar allocator is faster and (by the
+            # bit-identity property) indistinguishable.
+            self.scalar_calls += 1
+            from .flows import max_min_rates
+
+            rates_map = max_min_rates(affected)
+            rates = np.fromiter(
+                (rates_map[f] for f in affected),
+                dtype=np.float64,
+                count=len(affected),
+            )
+        else:
+            self.vector_calls += 1
+            rates = self._max_min_slots(slots)
+        if rates.size and float(rates.min()) <= _EPS:  # pragma: no cover
+            bad = affected[int(rates.argmin())]
+            raise FlowError(f"flow {bad.fid} allocated zero rate")
+        # Affected flows are all attached (slot >= 0), so the per-flow
+        # comparisons and completion delays come straight from the network
+        # arrays, batch-converted to Python floats (`tolist` is exact for
+        # float64) — no per-flow descriptor round-trips or numpy boxing.
+        changed = (rates != self._rate[slots]).tolist()
+        delays = (self._rem[slots] / rates).tolist()
+        self._rate[slots] = rates
+        schedule = self.sim.schedule
+        on_drain = self._on_drain
+        rescheduled = 0
+        for f, ch, delay in zip(affected, changed, delays):
+            ev = f._completion_ev
+            if ev is not None and ev.alive:
+                if not ch:
+                    continue
+                ev.cancel()
+            rescheduled += 1
+            f._completion_ev = schedule(delay, on_drain, f)
+        self.reschedule_count += rescheduled
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<VectorFlowNetwork active={len(self._flows)}"
+            f" done={self.completed_count}>"
+        )

@@ -24,7 +24,8 @@ from repro.sim import Simulator
 def test_fifo_among_equal_timestamps_survives_compaction(events, min_dead):
     """events: (time bucket, cancel?) pairs; min_dead: compaction floor
     forced low so compaction actually triggers mid-scenario."""
-    sim = Simulator()
+    # pinned to the heap backend: `_compact_min_dead` is a heap knob
+    sim = Simulator(backend="heap")
     sim._compact_min_dead = min_dead
     out = []
     handles = [

@@ -1,0 +1,163 @@
+"""Unit tests for the calendar-queue event core (repro.sim.calendar_queue).
+
+The generic ordering/cancellation semantics are covered by the shared
+engine tests (they run on the auto backend) and the differential property
+suite; these tests exercise the calendar-specific machinery — spine/
+calendar transitions, resizes, tombstone handling — plus regressions.
+"""
+
+import pytest
+
+from repro.sim import ScheduleInPastError, SimulationError
+from repro.sim.calendar_queue import CalendarSimulator
+
+
+@pytest.fixture()
+def sim():
+    return CalendarSimulator()
+
+
+class TestBasicSemantics:
+    def test_pop_order_time_then_fifo(self, sim):
+        out = []
+        sim.schedule(2.0, out.append, "late")
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(1.0, out.append, "b")
+        sim.run_until_idle()
+        assert out == ["a", "b", "late"]
+
+    def test_zero_delay_lane_runs_after_same_time_heap_events(self, sim):
+        out = []
+
+        def first():
+            sim.schedule(0.0, out.append, "zero")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, out.append, "peer")
+        sim.run_until_idle()
+        assert out == ["peer", "zero"]
+
+    def test_peek_and_step(self, sim):
+        out = []
+        sim.schedule(3.0, out.append, 1)
+        assert sim.peek_next_time() == pytest.approx(3.0)
+        assert sim.step() is True
+        assert out == [1]
+        assert sim.step() is False
+        assert sim.peek_next_time() is None
+
+    def test_run_until_clamps_clock(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == pytest.approx(4.0)
+        assert sim.pending == 1
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ScheduleInPastError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_idle_raises_on_livelock(self, sim):
+        def again():
+            sim.schedule(1.0, again)
+
+        sim.schedule(1.0, again)
+        with pytest.raises(SimulationError, match="did not converge"):
+            sim.run_until_idle(max_events=100)
+
+
+class TestHeapHealthFacade:
+    def test_tombstone_metrics_always_clean(self, sim):
+        evs = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for ev in evs[:4]:
+            ev.cancel()
+        # cancelled entries are lazily skipped or compacted, never
+        # reported as heap tombstones — the calendar has no heap.
+        assert sim.tombstone_ratio == 0.0
+        assert sim.heap_compactions == 0
+        sim.run_until_idle()
+        assert sim.events_executed == 6
+
+    def test_counters_track_cancellations(self, sim):
+        sim.schedule(1.0, lambda: None)
+        ev = sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert not ev.alive
+        sim.run_until_idle()
+        assert sim.events_scheduled == 2
+        assert sim.events_executed == 1
+
+
+class TestSpineCalendarTransitions:
+    def test_small_queues_stay_on_spine(self, sim):
+        for i in range(16):
+            sim.schedule(float(i), lambda: None)
+        assert sim.spine_active
+        sim.run_until_idle()
+
+    def test_promotion_past_spine_max(self, sim):
+        n = sim.SPINE_MAX + 20
+        out = []
+        for i in range(n):
+            sim.schedule(float(n - i), out.append, n - i)
+        assert not sim.spine_active
+        sim.run_until_idle()
+        assert out == sorted(out)
+
+    def test_calendar_resize_under_growth(self, sim):
+        # enough spread-out events to force at least one bucket-array
+        # resize after promotion
+        import random
+
+        rng = random.Random(7)
+        out = []
+        for _ in range(4000):
+            sim.schedule(rng.random() * 1000.0, out.append, None)
+        sim.run_until_idle()
+        assert sim.events_executed == 4000
+        assert sim.calendar_resizes >= 1
+
+    def test_ordering_with_heavy_cancellation(self, sim):
+        import random
+
+        rng = random.Random(11)
+        out = []
+        live = []
+        for i in range(500):
+            t = rng.random() * 50.0
+            live.append(sim.schedule(t, out.append, t))
+            if len(live) > 32:
+                live.pop(rng.randrange(len(live))).cancel()
+        survivors = sorted(ev.time for ev in live if ev.alive)
+        sim.run_until_idle()
+        assert out == survivors
+
+
+class TestSpineCursorRegression:
+    def test_insert_before_consumed_tombstones_stays_visible(self, sim):
+        """Regression: a cancelled-then-skipped spine prefix must not
+        swallow later inserts with smaller times.
+
+        The spine skips dead entries by advancing its head cursor; a new
+        entry inserted *before* the cursor (possible when the consumed
+        prefix holds tombstones with arbitrary times) would be invisible
+        and the run would livelock.  The insort is bounded at the cursor.
+        """
+        out = []
+        sim.schedule(5.0, out.append, "late")
+        dead = sim.schedule(3.0, out.append, "dead")
+        dead.cancel()
+        # peeking skips the tombstone: the cursor advances past t=3.0
+        # while the entry stays in the consumed prefix
+        assert sim.peek_next_time() == pytest.approx(5.0)
+        # a new event sorting before the tombstone must still be visible
+        sim.schedule(2.0, out.append, "early")
+        assert sim.peek_next_time() == pytest.approx(2.0)
+        sim.run_until_idle()
+        assert out == ["early", "late"]
+        assert sim.pending == 0

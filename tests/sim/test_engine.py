@@ -230,7 +230,7 @@ def test_step_picks_earlier_of_fifo_and_heap():
 
 
 def test_tombstone_ratio_reports_dead_fraction():
-    sim = Simulator()
+    sim = Simulator(backend="heap")
     sim._compact_min_dead = 1000  # effectively disable compaction
     evs = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
     for ev in evs[:4]:
@@ -242,7 +242,7 @@ def test_tombstone_ratio_reports_dead_fraction():
 
 
 def test_heap_compaction_triggers_and_preserves_order():
-    sim = Simulator()
+    sim = Simulator(backend="heap")
     sim._compact_min_dead = 8
     out = []
     for i in range(32):
@@ -257,7 +257,7 @@ def test_heap_compaction_triggers_and_preserves_order():
 
 
 def test_compaction_during_run_keeps_local_heap_binding():
-    sim = Simulator()
+    sim = Simulator(backend="heap")
     sim._compact_min_dead = 4
     out = []
     later = [sim.schedule(10.0 + i, out.append, f"late{i}") for i in range(8)]
@@ -274,7 +274,7 @@ def test_compaction_during_run_keeps_local_heap_binding():
 
 
 def test_cancel_in_fifo_lane_does_not_count_as_heap_tombstone():
-    sim = Simulator()
+    sim = Simulator(backend="heap")
     out = []
 
     def first():
