@@ -1,0 +1,61 @@
+"""Collectives scaling benchmarks: wall clock and events/sec vs P.
+
+Wraps :mod:`repro.bench.scale` in pytest-benchmark so the P ∈ {16..1024}
+curve lands in ``BENCH_pytest.json`` next to the figure points — the
+simulated latencies as gateable ``scale.*`` points, the wall clocks as
+report-only stats.  The last test demonstrates the O(active) headline:
+a 1024-node run with 8 talkers stays within 3x of the 8-node run.
+"""
+
+import time
+
+import pytest
+
+from repro import Session, paper_platform, run_pingpong
+from repro.bench.scale import SCALE_ALGOS, run_collective, scale_point
+from repro.hardware.topology import rail_optimized_platform
+
+SCALE_POINTS = (16, 64, 256, 1024)
+
+
+@pytest.mark.parametrize("n_nodes", SCALE_POINTS)
+@pytest.mark.parametrize("algo", SCALE_ALGOS)
+def test_scale_collective(benchmark, recorder, algo, n_nodes):
+    result = benchmark.pedantic(
+        lambda: run_collective(algo, n_nodes), rounds=2, iterations=1
+    )
+    assert result.n_nodes == n_nodes
+    recorder.record_point(scale_point(result))
+    recorder.record_wall_clock(
+        f"scale.{algo}.P{n_nodes}", benchmark.stats.stats.data
+    )
+    # every rank participates, so the whole platform is (rightly) active
+    if n_nodes >= 256:
+        assert result.engines_built == n_nodes
+        assert 0.0 <= result.idle_skip_ratio <= 1.0
+
+
+def test_scale_out_sparse_traffic(benchmark):
+    """1024 nodes, 8 talking pairs: wall clock within 3x of 8 nodes."""
+
+    def run(n_nodes):
+        spec = (
+            rail_optimized_platform(n_nodes, group=8)
+            if n_nodes > 8
+            else paper_platform(n_nodes=n_nodes)
+        )
+        t0 = time.perf_counter()
+        session = Session(spec, strategy="aggreg_multirail")
+        for a in range(4):
+            run_pingpong(
+                session, 64, segments=2, reps=2, warmup=1, node_a=a, node_b=a + 4
+            )
+        return time.perf_counter() - t0, session.active_health()
+
+    small_s, _ = run(8)
+    big_s, health = benchmark.pedantic(
+        lambda: run(1024), rounds=3, iterations=1
+    )
+    assert health["engines_built"] <= 9  # eager node 0 + 8 talkers
+    assert health["idle_skip_ratio"] > 0.98
+    assert big_s < 4.0 * small_s + 0.05

@@ -13,6 +13,13 @@ from .figures import FIGURES, FigureResult, run_figure
 from .flood import FloodResult, run_flood
 from .pingpong import BENCH_TAG, PingPongResult, run_pingpong, split_even
 from .reporting import report_figure, report_table, write_reports
+from .scale import (
+    DEFAULT_POINTS,
+    SCALE_ALGOS,
+    ScaleResult,
+    run_collective,
+    run_scale_suite,
+)
 from .sweep import Curve, SweepResult, run_sweep, sweep_table
 from .tracing import TRACE_TARGETS, TraceTarget, resolve_trace_target, run_traced
 
@@ -46,4 +53,9 @@ __all__ = [
     "TRACE_TARGETS",
     "resolve_trace_target",
     "run_traced",
+    "SCALE_ALGOS",
+    "DEFAULT_POINTS",
+    "ScaleResult",
+    "run_collective",
+    "run_scale_suite",
 ]

@@ -1,0 +1,279 @@
+"""Collectives scaling suite: one curve point per node count P.
+
+The scale-out story of this repo (topology presets, lazy engines, the
+active-set pump) is only honest if it is *measured* at four-digit node
+counts.  This module runs one collective — multi-lane allreduce,
+multi-lane barrier, or the NIC combining-tree barrier — on a
+rail-optimized platform at each P in ``DEFAULT_POINTS`` and records:
+
+* the **simulated** completion latency as an ``elapsed_us`` point
+  (``kind="collective"``, ``bench="scale.<algo>"``, ``curve="P<n>"``),
+  which is deterministic and therefore gated by ``repro bench compare``
+  exactly like a figure point;
+* the wall-clock seconds per P (noisy, report-only);
+* ``scale.events_per_sec.P<n>`` / ``scale.events.P<n>`` report-only
+  metrics, so a kernel-backend regression at scale shows up in the
+  compare delta table even though wall time itself is not gated.
+
+Every (algo, P) task is an isolated :class:`~repro.sim.engine.Simulator`,
+so the suite is embarrassingly parallel; ``run_scale_suite(jobs=...)``
+mirrors :mod:`repro.obs.runner` — tasks are shipped by value, results
+merge in task order — and is bit-identical to a serial run (CI's
+``scale-smoke`` job compares the two with ``--sim-tol 0``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..util.errors import BenchError
+
+__all__ = [
+    "SCALE_ALGOS",
+    "DEFAULT_POINTS",
+    "ScaleTask",
+    "ScaleResult",
+    "run_collective",
+    "run_scale_task",
+    "scale_point",
+    "run_scale_suite",
+]
+
+#: collective algorithms the suite knows how to run.
+SCALE_ALGOS = ("multilane_allreduce", "multilane_barrier", "nic_barrier")
+
+#: the paper-scale node counts of the headline curve.
+DEFAULT_POINTS = (16, 64, 256, 1024)
+
+#: elements in the allreduce input vector (one double per lane keeps the
+#: reduction honest without drowning the wire in payload bytes).
+VECTOR_LEN = 8
+
+_STRATEGY = "aggreg_multirail"
+
+
+@dataclass(frozen=True)
+class ScaleTask:
+    """One (algo, node-count) cell, addressed by value so it can cross
+    processes (the pool worker rebuilds the platform locally)."""
+
+    algo: str
+    n_nodes: int
+    reps: int
+
+
+@dataclass(frozen=True)
+class ScaleResult:
+    """One measured cell of the scaling curve."""
+
+    algo: str
+    n_nodes: int
+    #: simulated completion latency of the collective (deterministic).
+    elapsed_us: float
+    #: kernel events the run executed (deterministic).
+    events: int
+    #: wall seconds per rep (noisy; report-only).
+    wall_s: tuple[float, ...]
+    #: active-set health snapshot of the last rep.
+    peak_active_nodes: int
+    engines_built: int
+    idle_skip_ratio: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / min(self.wall_s) if self.wall_s else 0.0
+
+
+def _rank_body(algo: str, ep, results: dict):
+    from ..mpi.collectives import multilane_allreduce, multilane_barrier, nic_barrier
+
+    if algo == "multilane_allreduce":
+        values = [float(ep.rank + 1)] * VECTOR_LEN
+        out = yield from multilane_allreduce(ep, values)
+        results[ep.rank] = out
+    elif algo == "multilane_barrier":
+        yield from multilane_barrier(ep)
+        results[ep.rank] = True
+    elif algo == "nic_barrier":
+        yield from nic_barrier(ep)
+        results[ep.rank] = True
+    else:  # pragma: no cover - guarded by run_collective
+        raise BenchError(f"unknown scale algo {algo!r}")
+
+
+def run_collective(algo: str, n_nodes: int, reps: int = 1) -> ScaleResult:
+    """Run ``algo`` once per rep on a fresh rail-optimized platform.
+
+    The simulated latency and event count are identical across reps
+    (fresh simulator each time); only the wall clock varies.
+    """
+    if algo not in SCALE_ALGOS:
+        raise BenchError(f"unknown scale algo {algo!r}; have {SCALE_ALGOS}")
+    if reps < 1:
+        raise BenchError(f"reps must be >= 1, got {reps}")
+    from ..core.session import Session
+    from ..hardware.topology import rail_optimized_platform
+    from ..mpi.comm import Communicator
+
+    elapsed_us = events = None
+    walls = []
+    health: dict[str, Any] = {}
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        spec = rail_optimized_platform(n_nodes)
+        session = Session(spec, strategy=_STRATEGY)
+        comm = Communicator(session, name=f"scale.{algo}")
+        results: dict[int, Any] = {}
+
+        def wrapper(rank):
+            yield from _rank_body(algo, comm.endpoint(rank), results)
+
+        procs = [
+            session.spawn(wrapper(r), name=f"scale.r{r}") for r in range(n_nodes)
+        ]
+        session.run_until_idle()
+        walls.append(time.perf_counter() - t0)
+        if not all(p.done for p in procs):
+            raise BenchError(f"scale.{algo} P{n_nodes}: collective deadlocked")
+        _check_results(algo, n_nodes, results)
+        rep_elapsed = session.sim.now
+        rep_events = session.sim.events_executed
+        if elapsed_us is not None and (
+            rep_elapsed != elapsed_us or rep_events != events
+        ):  # pragma: no cover - determinism guard
+            raise BenchError(
+                f"scale.{algo} P{n_nodes}: reps disagree on simulated results"
+            )
+        elapsed_us, events = rep_elapsed, rep_events
+        health = session.active_health()
+    return ScaleResult(
+        algo=algo,
+        n_nodes=n_nodes,
+        elapsed_us=float(elapsed_us),
+        events=int(events),
+        wall_s=tuple(walls),
+        peak_active_nodes=int(health.get("peak_active_nodes", 0)),
+        engines_built=int(health.get("engines_built", 0)),
+        idle_skip_ratio=float(health.get("idle_skip_ratio", 0.0)),
+    )
+
+
+def _check_results(algo: str, n_nodes: int, results: dict) -> None:
+    if len(results) != n_nodes:
+        raise BenchError(
+            f"scale.{algo} P{n_nodes}: {len(results)}/{n_nodes} ranks finished"
+        )
+    if algo == "multilane_allreduce":
+        expected = [float(n_nodes * (n_nodes + 1) // 2)] * VECTOR_LEN
+        for rank, out in results.items():
+            if out != expected:
+                raise BenchError(
+                    f"scale.{algo} P{n_nodes}: rank {rank} reduced wrong"
+                    f" (got {out[:2]}..., want {expected[0]})"
+                )
+
+
+def scale_point(result: ScaleResult) -> dict[str, Any]:
+    """The gateable run-record point of one scaling cell."""
+    return {
+        "kind": "collective",
+        "bench": f"scale.{result.algo}",
+        "curve": f"P{result.n_nodes}",
+        "strategy": _STRATEGY,
+        "size": VECTOR_LEN * 8,
+        "count": result.n_nodes,
+        "elapsed_us": result.elapsed_us,
+    }
+
+
+def run_scale_task(task: ScaleTask) -> dict[str, Any]:
+    """Pool worker body: run one cell, return a primitive payload."""
+    r = run_collective(task.algo, task.n_nodes, reps=task.reps)
+    return {
+        "algo": r.algo,
+        "n_nodes": r.n_nodes,
+        "elapsed_us": r.elapsed_us,
+        "events": r.events,
+        "wall_s": list(r.wall_s),
+        "peak_active_nodes": r.peak_active_nodes,
+        "engines_built": r.engines_built,
+        "idle_skip_ratio": r.idle_skip_ratio,
+    }
+
+
+def run_scale_suite(
+    recorder,
+    algos: Sequence[str] = SCALE_ALGOS,
+    points: Sequence[int] = DEFAULT_POINTS,
+    reps: int = 2,
+    jobs: Optional[int] = None,
+    publish: Optional[Callable[[str, int, int], None]] = None,
+) -> list[ScaleResult]:
+    """Run the scaling curve and push it into ``recorder``.
+
+    ``jobs`` > 1 fans the (algo, P) cells over a process pool; simulated
+    results — and the record's ``points`` section — are bit-identical to
+    a serial run (fresh simulator per cell, task-order merge).
+
+    ``publish(cell, done, total)`` fires after each cell for the live
+    endpoint's incremental snapshots.
+    """
+    from ..obs.runner import _mp_context, resolve_jobs
+
+    for algo in algos:
+        if algo not in SCALE_ALGOS:
+            raise BenchError(f"unknown scale algo {algo!r}; have {SCALE_ALGOS}")
+    tasks = [ScaleTask(algo, int(n), reps) for algo in algos for n in points]
+    if not tasks:
+        raise BenchError("no scale cells to run")
+    n_procs = min(resolve_jobs(jobs), len(tasks)) or 1
+    if publish:
+        publish("", 0, len(tasks))
+    if n_procs <= 1:
+        rows = []
+        for done, task in enumerate(tasks, start=1):
+            rows.append(run_scale_task(task))
+            if publish:
+                publish(f"scale.{task.algo}.P{task.n_nodes}", done, len(tasks))
+    else:
+        with _mp_context().Pool(processes=n_procs) as pool:
+            rows = []
+            # chunksize=1: a P=1024 cell costs ~100x a P=16 cell, so
+            # fine-grained dealing keeps the pool balanced; imap keeps
+            # task order, so the merged record layout is serial-identical.
+            for done, (task, row) in enumerate(
+                zip(tasks, pool.imap(run_scale_task, tasks, chunksize=1)), start=1
+            ):
+                rows.append(row)
+                if publish:
+                    publish(f"scale.{task.algo}.P{task.n_nodes}", done, len(tasks))
+
+    out = []
+    scale_metrics: dict[str, float] = {}
+    for row in rows:
+        r = ScaleResult(
+            algo=row["algo"],
+            n_nodes=row["n_nodes"],
+            elapsed_us=row["elapsed_us"],
+            events=row["events"],
+            wall_s=tuple(row["wall_s"]),
+            peak_active_nodes=row["peak_active_nodes"],
+            engines_built=row["engines_built"],
+            idle_skip_ratio=row["idle_skip_ratio"],
+        )
+        out.append(r)
+        recorder.record_point(scale_point(r))
+        recorder.record_wall_clock(f"scale.{r.algo}.P{r.n_nodes}", list(r.wall_s))
+        scale_metrics[f"scale.events_per_sec.P{r.n_nodes}"] = max(
+            scale_metrics.get(f"scale.events_per_sec.P{r.n_nodes}", 0.0),
+            r.events_per_sec,
+        )
+        scale_metrics[f"scale.events.{r.algo}.P{r.n_nodes}"] = float(r.events)
+    # merge (don't replace) the metrics snapshot: the engine suite may
+    # already have recorded the probe + events_per_sec headline.
+    snap = dict(getattr(recorder, "_metrics", {}) or {})
+    snap.update(scale_metrics)
+    recorder.record_metrics(snap)
+    return out

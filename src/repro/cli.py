@@ -22,6 +22,8 @@ Commands
                  (OpenMetrics or JSON)
 ``ledger``       queryable SQLite run ledger: ingest bench records, chaos
                  reports, fault plans and event logs; query by git SHA
+``topo``         describe the multi-switch topology presets (fat-tree,
+                 dragonfly, rail-optimized) and their sample routes
 ``list``         show available strategies, drivers and rail presets
 
 Every command accepts ``--platform config.json`` (see
@@ -50,6 +52,7 @@ from .bench import (
     write_reports,
 )
 from .bench import ablations as ablations_mod
+from .bench import scale as scale_mod
 from .core.sampling import sample_rails
 from .core.session import Session
 from .core.strategies import available_strategies
@@ -244,11 +247,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"run paper figures (subset of {sorted(FIGURES)}; bare flag = all)",
     )
+    br.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the collectives scaling suite (multi-lane allreduce/"
+        " barrier, NIC barrier over P node counts)",
+    )
+    br.add_argument(
+        "--scale-points", type=int, nargs="+", metavar="P", default=None,
+        help=f"node counts for --scale (default: {list(scale_mod.DEFAULT_POINTS)};"
+        " implies --scale)",
+    )
+    br.add_argument(
+        "--scale-algos", nargs="+", metavar="ALGO", default=None,
+        choices=scale_mod.SCALE_ALGOS,
+        help=f"collectives for --scale (default: all of {list(scale_mod.SCALE_ALGOS)};"
+        " implies --scale)",
+    )
     br.add_argument("--reps", type=int, default=2, help="simulated reps per figure point")
     br.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for the figure sweeps (0 = all cores; the"
-        " record's simulated points are bit-identical to --jobs 1)",
+        help="worker processes for the figure sweeps and scale cells (0 ="
+        " all cores; the record's simulated points are bit-identical to"
+        " --jobs 1)",
     )
     br.add_argument(
         "--wall-reps", type=int, default=5, help="wall-clock repetitions (median kept)"
@@ -411,6 +432,22 @@ def build_parser() -> argparse.ArgumentParser:
         "-f", "--format", choices=("openmetrics", "json"), default="openmetrics"
     )
     m.add_argument("-o", "--output", metavar="FILE", help="write to FILE instead of stdout")
+
+    tp = sub.add_parser(
+        "topo",
+        help="describe the multi-switch topology presets (fat-tree,"
+        " dragonfly, rail-optimized)",
+    )
+    tp.add_argument(
+        "kind", nargs="?", default=None,
+        help="preset to describe (fat_tree, dragonfly, rail_opt; omit to"
+        " list all)",
+    )
+    tp.add_argument(
+        "--nodes", type=int, default=64, metavar="N",
+        help="platform size to instantiate (default: 64)",
+    )
+    tp.add_argument("--json", action="store_true", help="emit JSON")
 
     sub.add_parser("list", help="show strategies, drivers, rail presets")
     return parser
@@ -603,6 +640,7 @@ def _cmd_trace(args) -> int:
                 "heap_compactions": sim.heap_compactions,
                 "tombstone_ratio": sim.tombstone_ratio,
             },
+            "active": session.active_health(),
             "counters": {
                 name: value
                 for name, value in sorted(snapshot.items())
@@ -637,6 +675,14 @@ def _cmd_trace(args) -> int:
         f"kernel: {sim.backend} backend, {sim.events_executed} events executed,"
         f" {sim.heap_compactions} heap compactions,"
         f" tombstone ratio {sim.tombstone_ratio:.3f}"
+    )
+    health = session.active_health()
+    print(
+        f"active set: peak {health['peak_active_nodes']}/{health['n_nodes']} nodes,"
+        f" {health['engines_built']} engines built,"
+        f" {health['pump_wakeups']} wakeups"
+        f" ({health['wakeups_per_event']:.3f}/event),"
+        f" idle-skip ratio {health['idle_skip_ratio']:.3f}"
     )
     if session.faults is not None:
         health = session.faults.health_report()
@@ -747,8 +793,19 @@ def _cmd_bench(args) -> int:
             print(exc, file=sys.stderr)
             return 2
         run_figures = args.figures is not None
-        run_engine = args.engine or not run_figures
-        suites = [s for s, on in (("engine", run_engine), ("figures", run_figures)) if on]
+        run_scale = (
+            args.scale or args.scale_points is not None or args.scale_algos is not None
+        )
+        run_engine = args.engine or not (run_figures or run_scale)
+        suites = [
+            s
+            for s, on in (
+                ("engine", run_engine),
+                ("figures", run_figures),
+                ("scale", run_scale),
+            )
+            if on
+        ]
         recorder = BenchRecorder(
             args.name or "+".join(suites),
             spec=_load_platform(args),
@@ -790,6 +847,30 @@ def _cmd_bench(args) -> int:
                     progress=lambda fid: print(f"running {fid} ..."),
                     publish=figure_publish,
                 )
+            if run_scale:
+                from .bench.scale import run_scale_suite
+
+                print("running collectives scaling suite ...")
+                scale_publish = None
+                if server is not None:
+                    def scale_publish(cell, done, total):  # noqa: F811
+                        server.publisher.publish_progress("scale", done, total)
+
+                results = run_scale_suite(
+                    recorder,
+                    algos=args.scale_algos or scale_mod.SCALE_ALGOS,
+                    points=args.scale_points or scale_mod.DEFAULT_POINTS,
+                    reps=max(1, args.wall_reps // 2),
+                    jobs=args.jobs,
+                    publish=scale_publish,
+                )
+                for r in results:
+                    print(
+                        f"  scale.{r.algo} P{r.n_nodes}: {r.elapsed_us:.2f} us"
+                        f" simulated, {r.events} events,"
+                        f" {r.events_per_sec:,.0f} ev/s,"
+                        f" peak active {r.peak_active_nodes}"
+                    )
             if server is not None and recorder._metrics:
                 server.publisher.publish_metrics(recorder._metrics)
             path = recorder.write(args.output)
@@ -1088,6 +1169,51 @@ def _cmd_ledger(args) -> int:
     raise AssertionError(f"unhandled ledger command {args.ledger_command!r}")
 
 
+def _cmd_topo(args) -> int:
+    import json
+
+    from .hardware.topology import (
+        TOPOLOGY_BUILDERS,
+        build_plan,
+        describe_plan,
+        topology_platform,
+    )
+    from .util.errors import ConfigError
+
+    kinds = [args.kind] if args.kind else sorted(TOPOLOGY_BUILDERS)
+    out = []
+    for kind in kinds:
+        try:
+            spec = topology_platform(kind, args.nodes)
+        except ConfigError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        rails = []
+        for rail in spec.rails:
+            plan = build_plan(rail, spec.n_nodes)
+            if plan is not None:
+                rails.append(describe_plan(plan))
+        out.append({"topology": kind, "n_nodes": spec.n_nodes, "rails": rails})
+    if args.json:
+        print(json.dumps(out if args.kind is None else out[0], indent=1, sort_keys=True))
+        return 0
+    for entry in out:
+        print(f"{entry['topology']} ({entry['n_nodes']} nodes)")
+        for rd in entry["rails"]:
+            print(
+                f"  rail {rd['rail']}: {rd['switches']} switches,"
+                f" {rd['link_MBps']:g} MB/s inter-switch links,"
+                f" {rd['hop_us']:g} us/hop"
+            )
+            for s in rd["sample_routes"]:
+                path = " -> ".join(s["links"]) if s["links"] else "(same switch)"
+                print(
+                    f"    {s['src']} -> {s['dst']}: {s['switch_hops']} switch"
+                    f" hops, +{s['extra_latency_us']:g} us, {path}"
+                )
+    return 0
+
+
 _COMMANDS = {
     "pingpong": _cmd_pingpong,
     "flood": _cmd_flood,
@@ -1102,6 +1228,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "metrics": _cmd_metrics,
     "ledger": _cmd_ledger,
+    "topo": _cmd_topo,
     "list": _cmd_list,
 }
 

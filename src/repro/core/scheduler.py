@@ -113,6 +113,7 @@ class NodeEngine:
         self._m_fault_retries: Optional[list] = None
         self._stopped = False
         strategy.bind(self)
+        session._pump_started()
         self.pump: Process = spawn(self.sim, self._pump_loop(), name=f"pump{node_id}")
 
     # ------------------------------------------------------------------ #
@@ -361,6 +362,27 @@ class NodeEngine:
     def _pump_loop(self):
         spans = self.spans
         node = self.node_id
+        session = self.session
+        # --- initial park: active-set scheduling ----------------------
+        # A freshly started pump with nothing queued, nothing to retry
+        # and nothing arrived parks straight away, before its first
+        # sweep: the idle nodes of a large platform then cost zero
+        # events until something addresses them (a submit, a packet, a
+        # DMA release).  Once awake the loop body below is untouched —
+        # in particular the extra no-progress sweep after a busy one
+        # still runs, because its in-flight polls are what drain
+        # packets arriving mid-sweep at the historical timestamps.
+        if (
+            not self._stopped
+            and not self._retrans
+            and not getattr(self.strategy, "backlog", 0)
+            and not any(d.nic.rx_pending for d in self.drivers)
+        ):
+            self.counters.add("pump_parks")
+            session._pump_parked()
+            yield self.host.activity
+            session._pump_woke()
+            self.counters.add("pump_wakeups")
         while not self._stopped:
             self.counters.add("sweeps")
             self._m_sweeps.add()
@@ -487,7 +509,12 @@ class NodeEngine:
             # --- idle? --------------------------------------------------
             rx_waiting = any(d.nic.rx_pending for d in self.drivers)
             if not progressed and not rx_waiting and not self._stopped:
+                self.counters.add("pump_parks")
+                session._pump_parked()
                 yield self.host.activity
+                session._pump_woke()
+                self.counters.add("pump_wakeups")
+        session._pump_stopped()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<NodeEngine node={self.node_id} strategy={self.strategy.name}>"

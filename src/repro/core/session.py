@@ -36,6 +36,48 @@ from .strategies.registry import make_strategy
 __all__ = ["Session"]
 
 
+class _EngineList:
+    """List-like home of the node engines, built lazily on first touch.
+
+    Engine construction (drivers, instruments, the pump process) is the
+    dominant cost of opening a session on a large platform, and a
+    1000-node run with 8 talkers only ever touches 8 engines.  Indexing
+    builds on demand; ``len``/``in``-style uses see the full node count;
+    iterating materializes everything (the introspection paths want
+    every engine, and say so by iterating).  Hot internal paths iterate
+    :meth:`built` instead.
+    """
+
+    __slots__ = ("_make", "_engines", "built_count")
+
+    def __init__(self, n_nodes: int, make):
+        self._make = make
+        self._engines: list[Optional[NodeEngine]] = [None] * n_nodes
+        self.built_count = 0
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __getitem__(self, node_id):
+        if isinstance(node_id, slice):
+            return [self[i] for i in range(*node_id.indices(len(self._engines)))]
+        engine = self._engines[node_id]
+        if engine is None:
+            if node_id < 0:
+                node_id += len(self._engines)
+            engine = self._engines[node_id] = self._make(node_id)
+            self.built_count += 1
+        return engine
+
+    def __iter__(self):
+        for i in range(len(self._engines)):
+            yield self[i]
+
+    def built(self):
+        """Only the engines that exist — zero cost for idle nodes."""
+        return (e for e in self._engines if e is not None)
+
+
 class Session:
     """A live NewMadeleine instance over a simulated platform."""
 
@@ -80,10 +122,33 @@ class Session:
                 " are stateful and every node needs its own"
             )
         opts = dict(strategy_opts or {})
-        self.engines: list[NodeEngine] = [
-            NodeEngine(self, node_id, make_strategy(strategy, **opts))
-            for node_id in range(spec.n_nodes)
-        ]
+        # active-set accounting (see active_health): how many pumps are
+        # runnable right now, and the high-water mark of that number.
+        self._active_pumps = 0
+        self._peak_active = 0
+        self._pump_parks = 0
+        self._pump_wakeups = 0
+
+        self._session_stopped = False
+
+        def _make_engine(node_id: int) -> NodeEngine:
+            self.platform.hosts[node_id].engine_hook = None
+            engine = NodeEngine(self, node_id, make_strategy(strategy, **opts))
+            if self._session_stopped:
+                engine.stop()
+            return engine
+
+        #: engines are built lazily: touching ``engines[i]`` (or asking
+        #: for an interface) constructs node *i*'s engine; a packet
+        #: landing on a never-touched node builds it via the host's
+        #: first-wake hook.  Idle nodes of a large platform therefore
+        #: cost neither construction time nor pump events.
+        self.engines = _EngineList(spec.n_nodes, _make_engine)
+        for node_id, host in enumerate(self.platform.hosts):
+            host.engine_hook = (lambda nid=node_id: self.engines[nid])
+        # build node 0 eagerly: a bad strategy name or option must fail
+        # the constructor, not the first lazy touch.
+        self.engines[0]
         self._interfaces: dict[int, Any] = {}
         #: fault injector, or None — the only state the fault subsystem
         #: adds to a fault-free session (hot paths check engine/driver
@@ -92,6 +157,8 @@ class Session:
         if faults is not None and not faults.empty:
             from ..faults.injector import FaultInjector
 
+            # the injector walks every engine to attach its hooks, which
+            # materializes the whole list — fault runs are small shapes.
             self.faults = FaultInjector(self, faults)
 
     # ------------------------------------------------------------------ #
@@ -141,10 +208,68 @@ class Session:
         compactions = self.metrics.counter("engine.heap_compactions")
         compactions.add(sim.heap_compactions - compactions.value)
         self.metrics.gauge("engine.tombstone_ratio").set(sim.tombstone_ratio)
+        health = self.active_health()
+        self.metrics.gauge("active.peak_nodes").set(health["peak_active_nodes"])
+        self.metrics.gauge("active.engines_built").set(health["engines_built"])
+        self.metrics.gauge("active.pump_parks").set(health["pump_parks"])
+        self.metrics.gauge("active.pump_wakeups").set(health["pump_wakeups"])
+        self.metrics.gauge("active.idle_skip_ratio").set(health["idle_skip_ratio"])
+
+    # -- active-set accounting (called by the engine pumps) ---------------
+    def _pump_started(self) -> None:
+        self._active_pumps += 1
+        if self._active_pumps > self._peak_active:
+            self._peak_active = self._active_pumps
+
+    def _pump_parked(self) -> None:
+        self._active_pumps -= 1
+        self._pump_parks += 1
+
+    def _pump_woke(self) -> None:
+        self._active_pumps += 1
+        self._pump_wakeups += 1
+        if self._active_pumps > self._peak_active:
+            self._peak_active = self._active_pumps
+
+    def _pump_stopped(self) -> None:
+        self._active_pumps -= 1
+
+    def active_health(self) -> dict[str, Any]:
+        """Active-set scheduling health of the run so far.
+
+        ``peak_active_nodes`` is the most pumps simultaneously runnable
+        (not parked) at any point; ``idle_skip_ratio`` compares the
+        sweeps actually executed against a world where every node swept
+        as often as the busiest one (1.0 - ratio of work done) — near
+        1.0 on a mostly-idle large platform, 0.0 when every node is as
+        busy as the busiest.
+        """
+        sweeps = [e.counters["sweeps"] for e in self.engines.built()]
+        total_sweeps = sum(sweeps)
+        max_sweeps = max(sweeps, default=0)
+        n = self.spec.n_nodes
+        events = self.sim.events_executed
+        return {
+            "n_nodes": n,
+            "engines_built": self.engines.built_count,
+            "peak_active_nodes": self._peak_active,
+            "active_nodes_now": self._active_pumps,
+            "pump_parks": self._pump_parks,
+            "pump_wakeups": self._pump_wakeups,
+            "wakeups_per_event": self._pump_wakeups / events if events else 0.0,
+            "total_sweeps": total_sweeps,
+            "idle_skip_ratio": (
+                1.0 - total_sweeps / (n * max_sweeps) if max_sweeps else 0.0
+            ),
+        }
 
     def stop(self) -> None:
-        """Shut down all pumps (not required for the sim to terminate)."""
-        for engine in self.engines:
+        """Shut down all pumps (not required for the sim to terminate).
+
+        Sticky: an engine built after ``stop()`` starts stopped.
+        """
+        self._session_stopped = True
+        for engine in self.engines.built():
             engine.stop()
 
     # ------------------------------------------------------------------ #
@@ -155,7 +280,7 @@ class Session:
         if node_id is not None:
             return self.engine(node_id).counters
         merged = Counters()
-        for engine in self.engines:
+        for engine in self.engines.built():
             merged += engine.counters
         return merged
 

@@ -236,6 +236,7 @@ class Driver:
         chunk = DmaChunk(req_id=req_id, src_node=self.node_id, offset=offset, payload=payload)
         dst_nic = self.platform.nic(self.rail_index, dst_node)
         path = self.platform.dma_path(self.rail_index, self.node_id, dst_node)
+        wire_lat = self.platform.wire_latency_us(self.rail_index, self.node_id, dst_node)
         self.dma_started += 1
         self.dma_bytes += payload.size
         self.nic.tx_dma_transfers += 1
@@ -291,7 +292,7 @@ class Driver:
                     path=path,
                     size=wire_bytes,
                     on_complete=lambda _f: dst_nic.deliver(chunk),
-                    extra_latency=self.spec.lat_us,
+                    extra_latency=wire_lat,
                     tag=(self.name, req_id, offset),
                     on_drain=drained,
                 )
@@ -302,8 +303,7 @@ class Driver:
                     on_complete=lambda _f: faults.deliver_chunk(
                         self, dst_nic, chunk, on_lost
                     ),
-                    extra_latency=self.spec.lat_us
-                    * faults.lat_factor(self.rail_index),
+                    extra_latency=wire_lat * faults.lat_factor(self.rail_index),
                     tag=(self.name, req_id, offset),
                     on_drain=drained,
                 )

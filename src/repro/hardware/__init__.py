@@ -14,7 +14,14 @@ from .presets import (
     paper_platform,
     single_rail_platform,
 )
-from .spec import HostSpec, PlatformSpec, RailSpec
+from .spec import HostSpec, PlatformSpec, RailSpec, TopologySpec
+from .topology import (
+    TOPOLOGY_BUILDERS,
+    dragonfly_platform,
+    fat_tree_platform,
+    rail_optimized_platform,
+    topology_platform,
+)
 from .wire import Fabric
 
 __all__ = [
@@ -25,6 +32,12 @@ __all__ = [
     "HostSpec",
     "PlatformSpec",
     "RailSpec",
+    "TopologySpec",
+    "TOPOLOGY_BUILDERS",
+    "fat_tree_platform",
+    "dragonfly_platform",
+    "rail_optimized_platform",
+    "topology_platform",
     "MYRI_10G",
     "QUADRICS_QM500",
     "SCI_D33X",

@@ -45,6 +45,10 @@ class Host:
         #: busy-until times of the extra PIO threads (future-work mode).
         self._pio_worker_busy = [0.0] * spec.pio_workers
         self.pio_offloads = 0
+        #: one-shot hook run on the first wake of this host; the session
+        #: uses it to build the node's engine on demand (lazy engines),
+        #: so a packet landing on a never-touched node still finds a pump.
+        self.engine_hook = None
 
     def attach_nic(self, nic: "NIC") -> None:
         self.nics.append(nic)
@@ -74,6 +78,9 @@ class Host:
 
     def wake(self) -> None:
         """Fire the activity signal (idempotent if nobody is waiting)."""
+        if self.engine_hook is not None:
+            hook, self.engine_hook = self.engine_hook, None
+            hook()
         self.activity.fire()
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -8,12 +8,15 @@ knows nothing about protocols or strategies.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..sim.engine import Simulator
 from ..sim.flows import Link, make_flow_network
 from ..util.errors import PlatformError
 from .host import Host
 from .nic import NIC
 from .spec import PlatformSpec
+from .topology import TopologyPlan, build_plan
 from .wire import Fabric
 
 __all__ = ["Platform"]
@@ -29,13 +32,17 @@ class Platform:
         self.hosts: list[Host] = [
             Host(sim, node_id, spec.host) for node_id in range(spec.n_nodes)
         ]
-        # one NIC per (node, rail), then one fabric per rail
+        # one NIC per (node, rail), then one fabric per rail; rails with a
+        # declared switch topology get a routing plan (None = crossbar)
         self._nics: list[list[NIC]] = []  # indexed [rail][node]
         self.fabrics: list[Fabric] = []
+        self.topologies: list[Optional[TopologyPlan]] = []
         for rail_index, rail in enumerate(spec.rails):
             rail_nics = [NIC(sim, host, rail, rail_index) for host in self.hosts]
+            plan = build_plan(rail, spec.n_nodes)
             self._nics.append(rail_nics)
-            self.fabrics.append(Fabric(sim, rail, rail_nics))
+            self.topologies.append(plan)
+            self.fabrics.append(Fabric(sim, rail, rail_nics, plan=plan))
 
     # ------------------------------------------------------------------ #
     @property
@@ -69,18 +76,32 @@ class Platform:
     def dma_path(self, rail_index: int, src_node: int, dst_node: int) -> list[Link]:
         """The capacitated links a bulk transfer crosses.
 
-        src I/O bus (TX) → src NIC link → dst NIC link → dst I/O bus (RX).
-        The two NIC links have equal capacity; both are included so that
-        incast (two senders, one receiver NIC) is also modelled correctly.
+        src I/O bus (TX) → src NIC link → [inter-switch links] → dst NIC
+        link → dst I/O bus (RX).  The two NIC links have equal capacity;
+        both are included so that incast (two senders, one receiver NIC)
+        is also modelled correctly.  On a rail with a switch topology the
+        route's shared inter-switch links slot in between, which is what
+        models uplink contention and oversubscription.
         """
         src_nic = self.nic(rail_index, src_node)
         dst_nic = self.nic(rail_index, dst_node)
-        return [
-            self.host(src_node).bus_tx,
-            src_nic.tx_link,
-            dst_nic.rx_link,
-            self.host(dst_node).bus_rx,
-        ]
+        path = [self.host(src_node).bus_tx, src_nic.tx_link]
+        plan = self.topologies[rail_index]
+        if plan is not None:
+            links, _hops = plan.route(src_node, dst_node)
+            path.extend(links)
+        path.append(dst_nic.rx_link)
+        path.append(self.host(dst_node).bus_rx)
+        return path
+
+    def wire_latency_us(self, rail_index: int, src_node: int, dst_node: int) -> float:
+        """One-way wire latency between two nodes on a rail: the rail's
+        base ``lat_us`` plus any extra switch hops of its topology."""
+        rail = self.spec.rails[rail_index]
+        plan = self.topologies[rail_index]
+        if plan is None:
+            return rail.lat_us
+        return rail.lat_us + plan.extra_latency_us(src_node, dst_node)
 
     def __repr__(self) -> str:  # pragma: no cover
         rails = ",".join(r.name for r in self.spec.rails)

@@ -24,7 +24,8 @@ I/O bus.
 
 from __future__ import annotations
 
-from .spec import HostSpec, PlatformSpec, RailSpec
+from ..util.errors import ConfigError
+from .spec import MAX_NODES, HostSpec, PlatformSpec, RailSpec
 
 __all__ = [
     "MYRI_10G",
@@ -137,11 +138,39 @@ PRESET_RAILS = {
 }
 
 
+def _check_node_count(n_nodes: int, what: str) -> None:
+    """Reject node counts the crossbar presets cannot represent.
+
+    The paper's testbed shapes are small; anything that is not a positive
+    count of at least 2 — or that exceeds :data:`~repro.hardware.spec.MAX_NODES`
+    — is a caller bug (a byte count or rank id passed where a node count
+    goes), and deserves a loud error rather than a silently mis-sized
+    platform.  Cluster-scale shapes should go through the topology presets
+    in :mod:`repro.hardware.topology`, which model the switches.
+    """
+    if not isinstance(n_nodes, int) or isinstance(n_nodes, bool):
+        raise ConfigError(f"{what}: n_nodes must be an int, got {n_nodes!r}")
+    if n_nodes < 2:
+        raise ConfigError(f"{what}: need at least 2 nodes, got {n_nodes}")
+    if n_nodes > MAX_NODES:
+        raise ConfigError(
+            f"{what}: n_nodes={n_nodes} exceeds the supported maximum of"
+            f" {MAX_NODES} (did a byte count end up in a node count?)"
+        )
+
+
 def paper_platform(n_nodes: int = 2) -> PlatformSpec:
-    """The paper's 2-rail testbed: Myri-10G + Quadrics per node."""
+    """The paper's 2-rail testbed: Myri-10G + Quadrics per node.
+
+    ``n_nodes`` beyond 2 extends the testbed to a crossbar of identical
+    nodes (every pair directly connected); for hundreds of nodes prefer
+    the switch-aware presets in :mod:`repro.hardware.topology`.
+    """
+    _check_node_count(n_nodes, "paper_platform")
     return PlatformSpec(rails=(MYRI_10G, QUADRICS_QM500), n_nodes=n_nodes, host=PAPER_HOST)
 
 
 def single_rail_platform(rail: RailSpec, n_nodes: int = 2) -> PlatformSpec:
     """A platform with a single rail (reference curves, sampling runs)."""
+    _check_node_count(n_nodes, "single_rail_platform")
     return PlatformSpec(rails=(rail,), n_nodes=n_nodes, host=PAPER_HOST)

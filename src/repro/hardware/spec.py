@@ -32,7 +32,70 @@ from typing import Any, Iterator, Mapping, Sequence
 
 from ..util.errors import ConfigError
 
-__all__ = ["RailSpec", "HostSpec", "PlatformSpec"]
+__all__ = ["TopologySpec", "RailSpec", "HostSpec", "PlatformSpec"]
+
+#: upper bound on cluster size — far above any workload here; catches the
+#: obvious misconfiguration (a byte count passed where a node count goes).
+MAX_NODES = 1 << 16
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative switch topology of one rail (``None`` = full crossbar).
+
+    The crossbar fabric of the paper's 2-node testbed needs no switch
+    model; rails of larger platforms can declare one and the runtime
+    (:mod:`repro.hardware.topology`) builds the inter-switch links and
+    deterministic routes from it.  Kinds:
+
+    * ``fat_tree`` — two-level folded Clos: ``radix``-port edge switches
+      (``radix//2`` hosts down, ``radix//2`` spine uplinks each);
+    * ``dragonfly`` — ``groups`` of ``routers`` routers, ``hosts`` hosts
+      per router, all-to-all intra-group and one global link per group
+      pair (minimal l-g-l routing);
+    * ``rail_opt`` — rail-optimized plane: leaves of ``hosts`` hosts, one
+      spine per rail, leaf uplinks of ``link_MBps`` (oversubscribable).
+
+    ``link_MBps`` caps every inter-switch link; ``hop_us`` is added to the
+    one-way latency once per switch crossed *beyond* the first (the base
+    single-switch crossing is already folded into the rail's ``lat_us``).
+    """
+
+    kind: str
+    radix: int = 0
+    groups: int = 0
+    routers: int = 0
+    hosts: int = 0
+    link_MBps: float = 0.0
+    hop_us: float = 0.05
+
+    KINDS = ("fat_tree", "dragonfly", "rail_opt")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ConfigError(
+                f"unknown topology kind {self.kind!r}; have {list(self.KINDS)}"
+            )
+        if self.link_MBps <= 0:
+            raise ConfigError(f"topology {self.kind}: link_MBps must be positive")
+        if self.hop_us < 0:
+            raise ConfigError(f"topology {self.kind}: negative hop_us")
+        if self.hosts <= 0:
+            raise ConfigError(f"topology {self.kind}: hosts per switch must be >= 1")
+        if self.kind == "fat_tree" and self.radix < 2:
+            raise ConfigError("fat_tree: radix must be >= 2")
+        if self.kind == "dragonfly" and (self.groups < 1 or self.routers < 1):
+            raise ConfigError("dragonfly: need >= 1 group and >= 1 router per group")
+
+    def replace(self, **changes: Any) -> "TopologySpec":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        return cls(**dict(data))
 
 
 @dataclass(frozen=True)
@@ -57,6 +120,10 @@ class RailSpec:
     #: drivers without true zero-copy receive (e.g. TCP) copy rendezvous
     #: data once more on arrival at memcpy speed.
     zero_copy_recv: bool = True
+    #: switch topology of this rail's fabric; None = full crossbar (the
+    #: paper's testbed).  Omitted from the serialized form when absent so
+    #: pre-topology platform hashes stay stable.
+    topology: "TopologySpec | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -85,11 +152,18 @@ class RailSpec:
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict[str, Any]:
-        return dataclasses.asdict(self)
+        d = dataclasses.asdict(self)
+        if d.get("topology") is None:
+            del d["topology"]
+        return d
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RailSpec":
-        return cls(**dict(data))
+        data = dict(data)
+        topo = data.get("topology")
+        if isinstance(topo, Mapping):
+            data["topology"] = TopologySpec.from_dict(topo)
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -141,6 +215,11 @@ class PlatformSpec:
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ConfigError(f"need at least 2 nodes, got {self.n_nodes}")
+        if self.n_nodes > MAX_NODES:
+            raise ConfigError(
+                f"n_nodes={self.n_nodes} exceeds the supported maximum of"
+                f" {MAX_NODES} (did a byte count end up in a node count?)"
+            )
         if not self.rails:
             raise ConfigError("platform needs at least one rail")
         object.__setattr__(self, "rails", tuple(self.rails))

@@ -13,7 +13,7 @@ The fabric is a full crossbar: every node pair is connected on every rail
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..sim.engine import Simulator
 from ..util.errors import PlatformError
@@ -21,6 +21,7 @@ from .spec import RailSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from .nic import NIC
+    from .topology import TopologyPlan
 
 __all__ = ["Fabric"]
 
@@ -28,12 +29,21 @@ __all__ = ["Fabric"]
 class Fabric:
     """The switched network of one rail, connecting one NIC per node."""
 
-    def __init__(self, sim: Simulator, rail: RailSpec, nics: Sequence["NIC"]):
+    def __init__(
+        self,
+        sim: Simulator,
+        rail: RailSpec,
+        nics: Sequence["NIC"],
+        plan: "Optional[TopologyPlan]" = None,
+    ):
         if len(nics) < 2:
             raise PlatformError(f"rail {rail.name}: need NICs on >= 2 nodes")
         self.sim = sim
         self.rail = rail
         self._nics = list(nics)
+        #: switch-topology routing plan; None = the crossbar of the
+        #: paper's testbed (zero extra hops between any pair).
+        self.plan = plan
         self.packets_carried = 0
 
     def nic_of(self, node_id: int) -> "NIC":
@@ -51,7 +61,10 @@ class Fabric:
             raise PlatformError(f"rail {self.rail.name}: self-send from node {src_node}")
         dst = self.nic_of(dst_node)
         self.packets_carried += 1
-        self.sim.schedule(send_done_delay + self.rail.lat_us, dst.deliver, packet)
+        lat = self.rail.lat_us
+        if self.plan is not None:
+            lat += self.plan.extra_latency_us(src_node, dst_node)
+        self.sim.schedule(send_done_delay + lat, dst.deliver, packet)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Fabric {self.rail.name} nodes={len(self._nics)}>"

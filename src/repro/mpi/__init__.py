@@ -6,8 +6,13 @@ from .collectives import (
     barrier,
     bcast,
     decode_value,
+    decode_vector,
     encode_value,
+    encode_vector,
     gather,
+    multilane_allreduce,
+    multilane_barrier,
+    nic_barrier,
     reduce,
     scan,
     scatter,
@@ -27,6 +32,11 @@ __all__ = [
     "reduce",
     "allreduce",
     "scan",
+    "multilane_allreduce",
+    "multilane_barrier",
+    "nic_barrier",
     "encode_value",
     "decode_value",
+    "encode_vector",
+    "decode_vector",
 ]

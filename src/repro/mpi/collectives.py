@@ -7,18 +7,26 @@ inside a rank's process:
 * :func:`bcast` — binomial tree rooted anywhere;
 * :func:`gather` — linear gather to the root;
 * :func:`reduce` / :func:`allreduce` — binomial-tree reduce (+ bcast for
-  allreduce) over float values with an arbitrary associative operator.
+  allreduce) over float values with an arbitrary associative operator;
+* :func:`multilane_allreduce` / :func:`multilane_barrier` — multi-lane
+  decompositions (Träff, arXiv:1910.13373): the vector splits into
+  contiguous lane chunks that run concurrent, independently-rooted
+  reduce+bcast trees, giving the engine parallel traffic to spread
+  across the rails;
+* :func:`nic_barrier` — k-ary combining-tree barrier in the style of the
+  NIC-based barriers of Yu et al. (arXiv:cs/0402027).
 
-Scalar values travel as 8-byte IEEE doubles (:func:`encode_value`); byte
-payloads travel verbatim.  Collectives use reserved tags near the top of
-the user tag space so they never collide with application point-to-point
-traffic on the same communicator.
+Scalar values travel as 8-byte IEEE doubles (:func:`encode_value`),
+vectors as packed double arrays (:func:`encode_vector`); byte payloads
+travel verbatim.  Collectives use reserved tags near the top of the user
+tag space so they never collide with application point-to-point traffic
+on the same communicator; each lane gets its own tag plane.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..core.packet import Payload
 from ..util.errors import ApiError
@@ -33,8 +41,14 @@ __all__ = [
     "reduce",
     "allreduce",
     "scan",
+    "multilane_allreduce",
+    "multilane_barrier",
+    "nic_barrier",
     "encode_value",
     "decode_value",
+    "encode_vector",
+    "decode_vector",
+    "MAX_LANES",
 ]
 
 #: reserved collective tags (top of the user tag space).
@@ -45,6 +59,15 @@ TAG_REDUCE = MAX_USER_TAG - 3
 TAG_SCATTER = MAX_USER_TAG - 4
 TAG_ALLTOALL = MAX_USER_TAG - 5
 TAG_SCAN = MAX_USER_TAG - 6
+TAG_NIC_BARRIER = MAX_USER_TAG - 7
+
+#: lane tag planes sit below the scalar collective tags; lane ``l`` of a
+#: multi-lane collective uses ``BASE - l``, so the planes never overlap
+#: while ``l < MAX_LANES``.
+MAX_LANES = 8
+TAG_LANE_REDUCE = MAX_USER_TAG - 8  # .. MAX_USER_TAG - 15
+TAG_LANE_BCAST = MAX_USER_TAG - 16  # .. MAX_USER_TAG - 23
+TAG_LANE_BARRIER = MAX_USER_TAG - 24  # .. MAX_USER_TAG - 31
 
 
 def encode_value(value: float) -> bytes:
@@ -56,6 +79,18 @@ def decode_value(payload: Payload) -> float:
     if payload.data is None or len(payload.data) != 8:
         raise ApiError(f"not a scalar reduction payload: {payload!r}")
     return struct.unpack("<d", payload.data)[0]
+
+
+def encode_vector(values: Sequence[float]) -> bytes:
+    """Serialize a float vector (packed little-endian doubles)."""
+    return struct.pack(f"<{len(values)}d", *(float(v) for v in values))
+
+
+def decode_vector(payload: Payload) -> list[float]:
+    data = payload.data
+    if data is None or len(data) % 8:
+        raise ApiError(f"not a vector reduction payload: {payload!r}")
+    return list(struct.unpack(f"<{len(data) // 8}d", data))
 
 
 def barrier(ep: CommEndpoint):
@@ -83,10 +118,17 @@ def _xchg(ep: CommEndpoint, dst: int, src: int):
     yield AllOf([sreq.completion, rreq.completion])
 
 
-def bcast(ep: CommEndpoint, data: Optional[bytes] = None, root: int = 0):
+def bcast(
+    ep: CommEndpoint,
+    data: Optional[bytes] = None,
+    root: int = 0,
+    tag: int = TAG_BCAST,
+):
     """Binomial-tree broadcast; returns the payload on every rank.
 
     The root passes ``data``; other ranks pass None and receive it.
+    ``tag`` defaults to the reserved broadcast tag; the multi-lane
+    collectives pass their lane's tag plane instead.
     """
     size = ep.size
     vrank = (ep.rank - root) % size  # root becomes virtual rank 0
@@ -98,7 +140,7 @@ def bcast(ep: CommEndpoint, data: Optional[bytes] = None, root: int = 0):
     else:
         # receive from the parent: clear the lowest set bit of vrank
         parent = (vrank & (vrank - 1)) % size
-        payload = yield from ep.recv((parent + root) % size, TAG_BCAST)
+        payload = yield from ep.recv((parent + root) % size, tag)
     # forward to children: set bits above our lowest set bit
     k = 1
     while k < size:
@@ -106,7 +148,7 @@ def bcast(ep: CommEndpoint, data: Optional[bytes] = None, root: int = 0):
             child = vrank | k
             if child < size:
                 assert payload is not None
-                yield from ep.send(payload, (child + root) % size, TAG_BCAST)
+                yield from ep.send(payload, (child + root) % size, tag)
         if vrank & k:
             break
         k *= 2
@@ -234,3 +276,190 @@ def allreduce(
         payload = yield from bcast(ep, None, root=0)
     assert payload is not None
     return decode_value(payload)
+
+
+# --------------------------------------------------------------------- #
+# multi-lane collectives (Träff decomposition) + NIC-style barrier
+# --------------------------------------------------------------------- #
+def _resolve_lanes(ep: CommEndpoint, lanes: Optional[int], n_items: int) -> int:
+    if lanes is None:
+        lanes = getattr(ep.iface.engine.platform, "n_rails", 1)
+    if lanes < 1:
+        raise ApiError(f"need at least one lane, got {lanes}")
+    return min(int(lanes), MAX_LANES, max(1, n_items))
+
+
+def _lane_bounds(n: int, lanes: int) -> list[tuple[int, int]]:
+    """Contiguous chunk boundaries: the first ``n % lanes`` lanes take one
+    extra element (the Träff layout)."""
+    base, extra = divmod(n, lanes)
+    bounds = []
+    lo = 0
+    for lane in range(lanes):
+        hi = lo + base + (1 if lane < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _vec_reduce(
+    ep: CommEndpoint,
+    vec: Sequence[float],
+    op: Callable[[float, float], float],
+    tag: int,
+    root: int = 0,
+):
+    """Binomial-tree elementwise reduction of a vector to ``root``."""
+    size = ep.size
+    vrank = (ep.rank - root) % size
+    acc = [float(v) for v in vec]
+    k = 1
+    while k < size:
+        if vrank & k:
+            parent = vrank & ~k
+            yield from ep.send(encode_vector(acc), (parent + root) % size, tag)
+            return None
+        child = vrank | k
+        if child < size:
+            payload = yield from ep.recv((child + root) % size, tag)
+            other = decode_vector(payload)
+            if len(other) != len(acc):
+                raise ApiError(
+                    f"lane length mismatch: {len(other)} vs {len(acc)}"
+                )
+            acc = [op(a, b) for a, b in zip(acc, other)]
+        k *= 2
+    return acc
+
+
+def _lane_allreduce(ep, chunk, op, lane, out):
+    """One lane's allreduce (reduce to the lane root, then bcast); the
+    result lands in ``out[lane]`` so the parent can stitch lanes back."""
+    root = lane % ep.size
+    reduced = yield from _vec_reduce(ep, chunk, op, TAG_LANE_REDUCE - lane, root=root)
+    if ep.rank == root:
+        payload = yield from bcast(
+            ep, encode_vector(reduced), root=root, tag=TAG_LANE_BCAST - lane
+        )
+    else:
+        payload = yield from bcast(ep, None, root=root, tag=TAG_LANE_BCAST - lane)
+    assert payload is not None
+    out[lane] = decode_vector(payload)
+
+
+def multilane_allreduce(
+    ep: CommEndpoint,
+    values: Sequence[float],
+    op: Callable[[float, float], float] = lambda a, b: a + b,
+    lanes: Optional[int] = None,
+):
+    """Multi-lane elementwise allreduce of a float vector.
+
+    The vector splits into ``lanes`` contiguous chunks (default: one lane
+    per rail).  Each lane runs an independent binomial reduce+bcast,
+    rooted at rank ``lane % size`` so the lane trees do not all converge
+    on one node, and all lanes run *concurrently* as child processes of
+    the calling rank — the per-lane messages are simultaneous traffic
+    the engine's strategy spreads across the rails, which is the whole
+    point of the Träff decomposition.  Returns the reduced vector.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ApiError("multilane_allreduce needs a non-empty vector")
+    lanes = _resolve_lanes(ep, lanes, len(values))
+    if ep.size == 1:
+        return values
+    out: list[Optional[list[float]]] = [None] * lanes
+    if lanes == 1:
+        yield from _lane_allreduce(ep, values, op, 0, out)
+    else:
+        from ..sim.process import AllOf, spawn
+
+        sim = ep.iface.engine.sim
+        children = [
+            spawn(
+                sim,
+                _lane_allreduce(ep, values[lo:hi], op, lane, out),
+                name=f"allreduce.lane{lane}.r{ep.rank}",
+            )
+            for lane, (lo, hi) in enumerate(_lane_bounds(len(values), lanes))
+        ]
+        yield AllOf(children)
+    result: list[float] = []
+    for chunk in out:
+        assert chunk is not None
+        result.extend(chunk)
+    return result
+
+
+def _lane_barrier(ep: CommEndpoint, lane: int):
+    """One dissemination-barrier round set on lane ``lane``'s tag plane."""
+    from ..sim.process import AllOf
+
+    size, rank = ep.size, ep.rank
+    tag = TAG_LANE_BARRIER - lane
+    k = 1
+    while k < size:
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        if dst == src:
+            yield from ep.sendrecv(b"\x00", peer=dst, send_tag=tag)
+        else:
+            sreq = ep.isend(b"\x00", dst, tag)
+            rreq = ep.irecv(src, tag)
+            yield AllOf([sreq.completion, rreq.completion])
+        k *= 2
+
+
+def multilane_barrier(ep: CommEndpoint, lanes: Optional[int] = None):
+    """Barrier as ``lanes`` concurrent dissemination token streams.
+
+    Each lane is an independent dissemination barrier on its own tag
+    plane; the barrier completes when every lane completes.  With one
+    lane this is exactly :func:`barrier`; with more, the concurrent
+    tokens give the engine simultaneous small messages to aggregate and
+    balance across rails (latency-driven rail selection, paper §2).
+    """
+    lanes = _resolve_lanes(ep, lanes, MAX_LANES)
+    if ep.size == 1:
+        return
+    if lanes == 1:
+        yield from _lane_barrier(ep, 0)
+        return
+    from ..sim.process import AllOf, spawn
+
+    sim = ep.iface.engine.sim
+    children = [
+        spawn(sim, _lane_barrier(ep, lane), name=f"barrier.lane{lane}.r{ep.rank}")
+        for lane in range(lanes)
+    ]
+    yield AllOf(children)
+
+
+def nic_barrier(ep: CommEndpoint, arity: int = 4):
+    """K-ary combining-tree barrier (NIC-style, after Yu et al.).
+
+    Tokens combine up an ``arity``-ary tree rooted at rank 0, then the
+    release broadcasts back down the same tree.  Two messages per
+    non-root rank — the traffic shape of a NIC-offloaded barrier, here
+    scheduled over whichever rail the strategy picks (the fastest one,
+    matching the latency-driven selection the paper's engine applies to
+    small control packets).
+    """
+    if arity < 2:
+        raise ApiError(f"nic_barrier arity must be >= 2, got {arity}")
+    size, rank = ep.size, ep.rank
+    if size == 1:
+        return
+    first_child = rank * arity + 1
+    children = range(first_child, min(first_child + arity, size))
+    # combine: wait for every child's token, then signal the parent
+    for child in children:
+        yield from ep.recv(child, TAG_NIC_BARRIER)
+    if rank != 0:
+        parent = (rank - 1) // arity
+        yield from ep.send(b"\x00", parent, TAG_NIC_BARRIER)
+        yield from ep.recv(parent, TAG_NIC_BARRIER)
+    # release: wake the children back down the tree
+    for child in children:
+        yield from ep.send(b"\x00", child, TAG_NIC_BARRIER)

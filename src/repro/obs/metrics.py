@@ -139,6 +139,35 @@ SCHEMA: dict[str, MetricSpec] = {
             "fraction of event-heap entries that are cancelled tombstones"
             " (last observed at the end of a run)",
         ),
+        # active-set scheduling health (O(active) scale-out): published by
+        # Session.sync_kernel_metrics after every run
+        MetricSpec(
+            "active.peak_nodes", "gauge", "1",
+            "most node pumps simultaneously runnable (not parked) at any"
+            " point of the run — the working set the scheduler actually"
+            " paid for, vs. the platform's total node count",
+        ),
+        MetricSpec(
+            "active.engines_built", "gauge", "1",
+            "node engines constructed on demand; nodes nothing ever"
+            " addressed stay unbuilt and cost nothing",
+        ),
+        MetricSpec(
+            "active.pump_parks", "gauge", "1",
+            "times a pump parked on its host activity signal (no progress"
+            " and nothing waiting)",
+        ),
+        MetricSpec(
+            "active.pump_wakeups", "gauge", "1",
+            "times a parked pump was resumed by a wakeup (submit, packet"
+            " arrival, DMA release, timer)",
+        ),
+        MetricSpec(
+            "active.idle_skip_ratio", "gauge", "1",
+            "fraction of potential node-sweeps never executed: 1 -"
+            " total_sweeps / (n_nodes * busiest node's sweeps); ~1.0 means"
+            " idle nodes cost nothing (the O(active) claim)",
+        ),
         MetricSpec(
             "engine.events_per_sec", "gauge", "1/s",
             "kernel event throughput headline: executed events per"
@@ -241,6 +270,8 @@ ENGINE_COUNTER_NAMES = frozenset(
         "aggregated_segments",
         "packets_committed",
         "pio_offloads",
+        "pump_parks",
+        "pump_wakeups",
     }
 )
 

@@ -316,7 +316,10 @@ class FlowNetwork:
 
         ``origin`` itself is included when still active.  The returned
         list follows ``_flows`` insertion order so event scheduling stays
-        deterministic regardless of traversal order.
+        deterministic regardless of traversal order; fids are assigned in
+        insertion order, so sorting the component by fid reproduces that
+        order in O(k log k) — the cost of a reallocation depends on the
+        size of the affected shard, never on the total flow count.
         """
         seen_links: set[Link] = set(origin.path)
         member: set[Flow] = set()
@@ -332,7 +335,7 @@ class FlowNetwork:
                             stack.append(other)
         if len(member) == len(self._flows):
             return list(self._flows)
-        return [f for f in self._flows if f in member]
+        return sorted(member, key=lambda f: f.fid)
 
     def _reallocate(self, origin: Optional[Flow] = None) -> None:
         """Recompute max-min rates and reschedule stale completions.

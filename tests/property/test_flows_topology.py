@@ -1,0 +1,134 @@
+"""Differential properties of the flow allocator on multi-hop topologies.
+
+The topology layer threads inter-switch links into DMA paths, so flow
+paths grow from the historical 3 links (bus, wire, bus) to 5+.  The
+sharded/vectorized allocator must stay *bit*-identical to the scalar
+reference on those longer paths — this file drives randomized multi-hop
+programs through both and compares the full observable trace with ``==``,
+then checks session-level results on real topology presets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FlowNetwork, Link, Simulator
+from repro.sim.flows_vec import VectorFlowNetwork
+
+# --------------------------------------------------------------------- #
+# network-level: randomized multi-hop paths over a shared switch fabric
+# --------------------------------------------------------------------- #
+
+# one op: (src leaf, dst leaf, size, run-ahead) — paths go
+# host-bus -> up-link -> spine -> down-link -> host-bus, sharing the
+# up/down links between flows exactly like the rail_opt plan does.
+_topo_programs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # src leaf
+        st.integers(min_value=0, max_value=3),  # dst leaf
+        st.floats(min_value=10.0, max_value=4000.0),  # size
+        st.floats(min_value=0.0, max_value=5.0),  # run-ahead
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _run_topology_network(cls, program, cutover=None):
+    import repro.sim.flows_vec as fv
+
+    old = fv.SCALAR_CUTOVER
+    if cutover is not None:
+        fv.SCALAR_CUTOVER = cutover
+    try:
+        sim = Simulator(backend="heap")
+        net = cls(sim)
+        buses = [Link(f"bus{i}", 900.0) for i in range(4)]
+        ups = [Link(f"up.l{i}", 250.0 * (i + 1)) for i in range(4)]
+        downs = [Link(f"down.l{i}", 250.0 * (i + 1)) for i in range(4)]
+        trace = []
+        for src, dst, size, ahead in program:
+            # 5-hop path mirroring Platform.dma_path with a rail_opt plan
+            path = [buses[src], ups[src], downs[dst], buses[dst]]
+            f = net.start_flow(path, size=size)
+            trace.append((f.fid, f.rate))
+            sim.run(until=sim.now + ahead)
+        sim.run_until_idle()
+        return (
+            trace,
+            net.completed_count,
+            net.reschedule_count,
+            sim.events_scheduled,
+            sim.now,
+        )
+    finally:
+        fv.SCALAR_CUTOVER = old
+
+
+@given(_topo_programs)
+@settings(max_examples=75, deadline=None)
+def test_vector_matches_scalar_on_multihop_paths(program):
+    reference = _run_topology_network(FlowNetwork, program)
+    assert _run_topology_network(VectorFlowNetwork, program) == reference
+    assert _run_topology_network(VectorFlowNetwork, program, cutover=0) == reference
+
+
+# --------------------------------------------------------------------- #
+# session-level: scalar and vector agree on real topology presets
+# --------------------------------------------------------------------- #
+
+
+def _pingpong_digest(spec, flows_mode, monkeypatch):
+    from repro.bench.pingpong import run_pingpong
+    from repro.core.session import Session
+
+    monkeypatch.setenv("REPRO_SIM_FLOWS", flows_mode)
+    session = Session(spec, strategy="greedy", backend="heap")
+    res = run_pingpong(session, 65536, segments=2, reps=2, warmup=1)
+    return (res.one_way_us, res.bandwidth_MBps, session.sim.events_executed)
+
+
+def test_presets_identical_across_flow_modes(monkeypatch):
+    from repro.hardware.topology import (
+        dragonfly_platform,
+        fat_tree_platform,
+        rail_optimized_platform,
+    )
+
+    for spec in (
+        fat_tree_platform(8),
+        dragonfly_platform(16, routers_per_group=2, hosts_per_router=2),
+        rail_optimized_platform(8, group=4),
+    ):
+        scalar = _pingpong_digest(spec, "scalar", monkeypatch)
+        vector = _pingpong_digest(spec, "vector", monkeypatch)
+        assert scalar == vector, spec.rails[0].topology
+
+
+def test_collective_identical_across_flow_modes(monkeypatch):
+    """A P=16 multilane allreduce settles identically under either
+    allocator — many concurrent flows over shared uplinks is exactly the
+    shape where a sharding bug would show."""
+    from repro.core.session import Session
+    from repro.hardware.topology import rail_optimized_platform
+    from repro.mpi.collectives import multilane_allreduce
+    from repro.mpi.comm import Communicator
+
+    digests = {}
+    for mode in ("scalar", "vector"):
+        monkeypatch.setenv("REPRO_SIM_FLOWS", mode)
+        session = Session(
+            rail_optimized_platform(16, group=4), strategy="aggreg_multirail",
+            backend="heap",
+        )
+        comm = Communicator(session)
+        results = {}
+
+        def rank(ep):
+            out = yield from multilane_allreduce(ep, [float(ep.rank)] * 8)
+            results[ep.rank] = tuple(out)
+
+        for r in range(16):
+            session.spawn(rank(comm.endpoint(r)), name=f"r{r}")
+        session.run_until_idle()
+        digests[mode] = (session.sim.now, session.sim.events_executed, results)
+    assert digests["scalar"] == digests["vector"]
