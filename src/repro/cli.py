@@ -264,6 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"collectives for --scale (default: all of {list(scale_mod.SCALE_ALGOS)};"
         " implies --scale)",
     )
+    br.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the adaptive degrade-recovery suite (feedback/tournament"
+        " strategies re-converging after a mid-run rail degrade)",
+    )
     br.add_argument("--reps", type=int, default=2, help="simulated reps per figure point")
     br.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -796,13 +802,15 @@ def _cmd_bench(args) -> int:
         run_scale = (
             args.scale or args.scale_points is not None or args.scale_algos is not None
         )
-        run_engine = args.engine or not (run_figures or run_scale)
+        run_adaptive = args.adaptive
+        run_engine = args.engine or not (run_figures or run_scale or run_adaptive)
         suites = [
             s
             for s, on in (
                 ("engine", run_engine),
                 ("figures", run_figures),
                 ("scale", run_scale),
+                ("adaptive", run_adaptive),
             )
             if on
         ]
@@ -870,6 +878,32 @@ def _cmd_bench(args) -> int:
                         f" simulated, {r.events} events,"
                         f" {r.events_per_sec:,.0f} ev/s,"
                         f" peak active {r.peak_active_nodes}"
+                    )
+            if run_adaptive:
+                from .bench.adaptive import run_adaptive_suite
+
+                print("running adaptive degrade-recovery suite ...")
+                adaptive_publish = None
+                if server is not None:
+                    def adaptive_publish(cell, done, total):  # noqa: F811
+                        server.publisher.publish_progress("adaptive", done, total)
+
+                results = run_adaptive_suite(
+                    recorder,
+                    reps=max(1, args.wall_reps // 2),
+                    publish=adaptive_publish,
+                )
+                for r in results:
+                    share = (
+                        "n/a" if r.steady_share is None
+                        else f"{r.steady_share:.3f}"
+                    )
+                    print(
+                        f"  adaptive.degrade_recovery {r.strategy}:"
+                        f" {r.elapsed_us:.2f} us simulated,"
+                        f" steady share {share},"
+                        f" resamples {r.resamples}"
+                        + ("" if r.switches is None else f", switches {r.switches}")
                     )
             if server is not None and recorder._metrics:
                 server.publisher.publish_metrics(recorder._metrics)

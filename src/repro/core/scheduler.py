@@ -74,9 +74,17 @@ class NodeEngine:
         self.counters = Counters()
         self.tracer = session.tracer
         self.spans = session.spans
+        #: completion-observation sink: adaptive strategies opt in via
+        #: ``wants_observations`` and then see every finished PIO post and
+        #: drained DMA chunk (repro.core.strategies.adaptive); None for
+        #: static strategies, keeping the hooks zero-cost.
+        self._observer = (
+            strategy if getattr(strategy, "wants_observations", False) else None
+        )
         for drv in self.drivers:
             drv.tracer = self.tracer
             drv.spans = self.spans
+            drv.observer = self._observer
         #: send requests issued by this node, kept only while span tracing
         #: is on (feeds the per-request lifecycle report).
         self.sent_log: list[SendRequest] = []
@@ -479,10 +487,12 @@ class NodeEngine:
                     self.sim.now + post, copy
                 )
                 self._stamp_first_commits(pw, idx)
+                wire_bytes = driver.wire_size(pw)
                 self._m_commit_count[idx].add()
-                self._m_wrapper_bytes[idx].observe(driver.wire_size(pw))
+                self._m_wrapper_bytes[idx].observe(wire_bytes)
                 self._m_poll_gap.observe(self.sim.now - sweep_t0)
                 self._m_window_depth.observe(backlog)
+                post_t0 = self.sim.now
                 cost = driver.post_eager(pw, copy_offloaded=offloaded)
                 self.counters.add("packets_committed")
                 if offloaded:
@@ -495,6 +505,10 @@ class NodeEngine:
                     )
                 yield Timeout(cost)
                 spans.end(commit_span, self.sim.now)
+                if self._observer is not None:
+                    self._observer.observe(
+                        idx, "pio", wire_bytes, post_t0, self.sim.now
+                    )
                 if offloaded:
                     # requests complete when the worker finishes the copy
                     self.sim.schedule(

@@ -1,5 +1,6 @@
 """Optimizing schedulers ("strategies") — the paper's pluggable modules."""
 
+from .adaptive import FeedbackStrategy, TournamentStrategy
 from .aggreg import AggregStrategy
 from .aggreg_multirail import AggregMultirailStrategy
 from .base import Strategy
@@ -22,6 +23,8 @@ __all__ = [
     "GreedyStrategy",
     "AggregMultirailStrategy",
     "SplitBalanceStrategy",
+    "FeedbackStrategy",
+    "TournamentStrategy",
     "register_strategy",
     "make_strategy",
     "strategy_class",

@@ -49,6 +49,12 @@ class Strategy(ABC):
     #: registry name; subclasses override.
     name = "abstract"
 
+    #: opt-in to completion observations: when True the engine installs
+    #: this strategy as every driver's ``observer`` and :meth:`observe`
+    #: fires for each finished PIO post and drained DMA chunk.  Static
+    #: strategies leave it False and the hooks cost nothing.
+    wants_observations = False
+
     def __init__(self) -> None:
         self.engine: Optional["NodeEngine"] = None
         self._ctrl: dict[int, Deque[Entry]] = {}
@@ -76,6 +82,17 @@ class Strategy(ABC):
     def pack_ctrl(self, engine: "NodeEngine", dst_node: int, entry: Entry) -> None:
         """Queue a control entry (e.g. RDV_ACK) for ``dst_node``."""
         self._ctrl.setdefault(dst_node, deque()).append(entry)
+
+    def observe(
+        self, rail_index: int, kind: str, nbytes: int, start_us: float, end_us: float
+    ) -> None:
+        """One completed transfer on ``rail_index``: ``kind`` is ``"pio"``
+        (eager post, wire bytes over the charged post+copy interval) or
+        ``"dma"`` (rendezvous chunk, payload bytes over the flow's drain
+        interval).  Only called when :attr:`wants_observations` is True;
+        implementations must not schedule events — observations are pure
+        state updates, so enabling them never perturbs the simulation.
+        """
 
     # ------------------------------------------------------------------ #
     # scheduling side

@@ -12,7 +12,12 @@ validated against the strategy contract of
   (each exactly once — no duplication, no invention);
 * control entries queued via ``pack_ctrl`` are eventually emitted;
 * a large segment is never embedded as eager data on a driver where it is
-  not eager-eligible.
+  not eager-eligible;
+* for adaptive strategies (:mod:`repro.core.strategies.adaptive`):
+  completion observations arrive monotonically in sim time, and split
+  ratios only change when the strategy's epoch index advances — a
+  feedback controller that mutates its model mid-epoch would make commit
+  decisions unreproducible across pump interleavings.
 
 Each broken contract is reported as a :class:`Violation` naming the
 invariant and carrying the offending segment/rail context — not a bare
@@ -53,7 +58,8 @@ class Violation:
 
     #: which invariant broke: "rail-binding", "oversize", "empty-wrapper",
     #: "eager-eligibility", "unknown-segment", "send-request-mismatch",
-    #: "stranded-segments" or "dropped-ctrl".
+    #: "stranded-segments", "dropped-ctrl", "nonmonotone-observation" or
+    #: "mid-epoch-ratio-change".
     invariant: str
     message: str
     #: offending segment/rail details as sorted (key, value) pairs.
@@ -81,6 +87,11 @@ class CheckedStrategy(Strategy):
         self._packed_total = 0
         self._ctrl_queued = 0
         self._ctrl_emitted = 0
+        #: adaptive-strategy invariants: observation end times must be
+        #: monotone in sim time, and split ratios may only change when the
+        #: inner strategy's epoch index does.
+        self._last_obs_end_us: Optional[float] = None
+        self._last_ratio_sig: Optional[tuple[Any, tuple[float, ...]]] = None
 
     @classmethod
     def wrapping(cls, inner: Any, record_only: bool = False, **inner_opts: Any):
@@ -109,10 +120,67 @@ class CheckedStrategy(Strategy):
         self._ctrl_queued += 1
         self.inner.pack_ctrl(engine, dst_node, entry)
 
+    @property
+    def wants_observations(self) -> bool:
+        return bool(getattr(self.inner, "wants_observations", False))
+
+    def observe(
+        self, rail_index: int, kind: str, nbytes: int, start_us: float, end_us: float
+    ) -> None:
+        if end_us < start_us or (
+            self._last_obs_end_us is not None and end_us < self._last_obs_end_us
+        ):
+            self._fail(
+                "nonmonotone-observation",
+                f"strategy {self.inner.name!r} was fed an observation going"
+                " backwards in sim time",
+                rail=rail_index,
+                kind=kind,
+                start_us=start_us,
+                end_us=end_us,
+                last_end_us=self._last_obs_end_us,
+            )
+        if self._last_obs_end_us is None or end_us > self._last_obs_end_us:
+            self._last_obs_end_us = end_us
+        self.inner.observe(rail_index, kind, nbytes, start_us, end_us)
+
+    def _ratio_signature(self) -> Optional[tuple[Any, tuple[float, ...]]]:
+        """(epoch, ratios) of an adaptive inner strategy, else None."""
+        ratios_fn = getattr(self.inner, "current_ratios", None)
+        epoch_fn = getattr(self.inner, "epoch_index", None)
+        if ratios_fn is None or epoch_fn is None:
+            return None
+        ratios = ratios_fn()
+        if ratios is None:
+            return None
+        return (epoch_fn(), tuple(ratios))
+
+    def _check_epoch_ratios(self, when: str) -> None:
+        """Ratios may only change at epoch boundaries (PR 10 invariant)."""
+        sig = self._ratio_signature()
+        if sig is None:
+            return
+        if self._last_ratio_sig is not None:
+            last_epoch, last_ratios = self._last_ratio_sig
+            epoch, ratios = sig
+            if epoch == last_epoch and ratios != last_ratios:
+                self._fail(
+                    "mid-epoch-ratio-change",
+                    f"strategy {self.inner.name!r} changed its split ratios"
+                    f" within epoch {epoch!r} ({when}); ratios may only"
+                    " change when the epoch index advances",
+                    epoch=str(epoch),
+                    before=last_ratios,
+                    after=ratios,
+                )
+        self._last_ratio_sig = sig
+
     def try_and_commit(
         self, engine: "NodeEngine", driver: "Driver"
     ) -> Optional[PacketWrapper]:
+        self._check_epoch_ratios("before commit")
         pw = self.inner.try_and_commit(engine, driver)
+        self._check_epoch_ratios("after commit")
         if pw is None:
             return None
         self._validate(driver, pw)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, Type
 
 from ...util.errors import StrategyError
+from .adaptive import FeedbackStrategy, TournamentStrategy
 from .aggreg import AggregStrategy
 from .aggreg_multirail import AggregMultirailStrategy
 from .base import Strategy
@@ -82,5 +83,7 @@ for _name, _cls in (
     ("greedy", GreedyStrategy),
     ("aggreg_multirail", AggregMultirailStrategy),
     ("split_balance", SplitBalanceStrategy),
+    ("feedback", FeedbackStrategy),
+    ("tournament", TournamentStrategy),
 ):
     register_strategy(_name, _cls)

@@ -62,6 +62,10 @@ class Driver:
         #: set by the owning engine; PIO/DMA activity becomes spans on
         #: this rail's track (see repro.obs.spans).
         self.spans = None
+        #: completion-observation sink (the node's strategy when it sets
+        #: ``wants_observations``, else None — static strategies pay one
+        #: ``is None`` check per DMA drain and nothing more).
+        self.observer = None
         #: fault injector of the owning session; None when no faults are
         #: scheduled (the common case — every hook below is one ``is
         #: None`` check, keeping the fault layer zero-cost when inactive).
@@ -283,6 +287,10 @@ class Driver:
                             "offset": offset,
                             "dst": dst_node,
                         },
+                    )
+                if self.observer is not None:
+                    self.observer.observe(
+                        self.rail_index, "dma", payload.size, start, self.sim.now
                     )
                 if on_drain is not None:
                     on_drain(flow)

@@ -217,6 +217,40 @@ SCHEMA: dict[str, MetricSpec] = {
             "init-time sampling re-runs triggered by detected degrade"
             " transitions (the Fig 7 ratio loop closed at runtime)",
         ),
+        # runtime-adaptive strategies (registered only when a feedback or
+        # tournament strategy binds; a session running a static strategy
+        # emits none of these — the zero-cost-when-unselected guarantee)
+        MetricSpec(
+            "adaptive.ratio", "gauge", "1",
+            "epoch-frozen split ratio of one rail as the adaptive model"
+            " currently derives it (normalized over all rails), labelled"
+            " per rail",
+        ),
+        MetricSpec(
+            "adaptive.bw_est_MBps", "gauge", "MB/s",
+            "EWMA bandwidth estimate of one rail, fed by completed DMA"
+            " chunk observations, labelled per rail",
+        ),
+        MetricSpec(
+            "adaptive.observations", "counter", "1",
+            "completion observations folded into the rail estimators,"
+            " labelled per rail",
+        ),
+        MetricSpec(
+            "adaptive.epochs", "counter", "1",
+            "adaptation epochs advanced (model refreezes / tournament"
+            " scoring rounds; epochs advance lazily on the sim clock)",
+        ),
+        MetricSpec(
+            "adaptive.switches", "counter", "1",
+            "tournament strategy switches (trial-phase rotations plus"
+            " hysteresis-cleared exploit switches)",
+        ),
+        MetricSpec(
+            "adaptive.active_strategy", "gauge", "1",
+            "registration index of the tournament's currently active"
+            " candidate strategy",
+        ),
         # live-endpoint families (published by repro.obs.server while a
         # bench/chaos sweep is in flight; never emitted by the engine)
         MetricSpec(

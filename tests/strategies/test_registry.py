@@ -15,7 +15,15 @@ from repro.util.errors import StrategyError
 
 def test_all_paper_strategies_registered():
     names = available_strategies()
-    for expected in ("single_rail", "aggreg", "greedy", "aggreg_multirail", "split_balance"):
+    for expected in (
+        "single_rail",
+        "aggreg",
+        "greedy",
+        "aggreg_multirail",
+        "split_balance",
+        "feedback",
+        "tournament",
+    ):
         assert expected in names
 
 
